@@ -1,0 +1,58 @@
+// Ablation (Section III.E, situation 1): "lots of creation operations
+// will take a long time when the virtual nodes number is large, but it
+// only happens once when the Sedna cluster firstly starts up."
+//
+// Measures first-boot cost — ZooKeeper znode creation for the whole vnode
+// table plus node start — as the vnode count grows, and contrasts it with
+// the steady-state cost those vnodes buy (journal syncs stay O(changes)).
+#include <cstdio>
+
+#include "cluster/sedna_cluster.h"
+
+using namespace sedna;
+using namespace sedna::cluster;
+
+int main() {
+  std::printf("Ablation: first-boot cost vs virtual-node count "
+              "(one-time, Section III.E)\n\n");
+  std::printf("%-10s %16s %18s %14s\n", "vnodes", "boot_ms(sim)",
+              "zk_commits", "boot_msgs");
+
+  std::FILE* csv = std::fopen("ablation_bootstrap.csv", "w");
+  if (csv) std::fprintf(csv, "vnodes,boot_ms,zk_commits,messages\n");
+
+  double prev_boot = 0;
+  std::uint32_t prev_vnodes = 0;
+  bool monotone = true;
+  for (std::uint32_t vnodes : {256u, 1024u, 4096u, 16384u}) {
+    SednaClusterConfig cfg;
+    cfg.zk_members = 3;
+    cfg.data_nodes = 6;
+    cfg.cluster.total_vnodes = vnodes;
+    SednaCluster cluster(cfg);
+    if (!cluster.boot().ok()) return 1;
+
+    const double boot_ms = cluster.sim().now() / 1000.0;
+    const std::uint64_t commits = cluster.zk_member(0).commits_applied();
+    const std::uint64_t msgs = cluster.network().messages_sent();
+    std::printf("%-10u %16.1f %18llu %14llu\n", vnodes, boot_ms,
+                static_cast<unsigned long long>(commits),
+                static_cast<unsigned long long>(msgs));
+    if (csv) {
+      std::fprintf(csv, "%u,%.1f,%llu,%llu\n", vnodes, boot_ms,
+                   static_cast<unsigned long long>(commits),
+                   static_cast<unsigned long long>(msgs));
+    }
+    if (prev_vnodes != 0 && boot_ms < prev_boot) monotone = false;
+    prev_boot = boot_ms;
+    prev_vnodes = vnodes;
+  }
+  if (csv) std::fclose(csv);
+
+  // Shape: boot cost grows with the vnode count (roughly linearly — one
+  // quorum commit per vnode znode), confirming why the count is fixed at
+  // creation and the cost paid exactly once.
+  std::printf("\nshape: boot cost grows with vnode count: %s\n",
+              monotone ? "yes" : "NO");
+  return monotone ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// Figure 7(a): W/R speed, Sedna vs Memcached writing/reading each datum
+// THREE times sequentially.
+//
+// Paper finding to reproduce (Section VI.A.1): "Sedna has better W/R
+// performance than Memcached [x3] ... because three times read and write
+// in Sedna were issued and processed parallel, but in Memcached these
+// reads and writes requests were issued sequentially." Expect every curve
+// ~linear in op count, with both Sedna series clearly below both
+// Memcached(3) series.
+#include <cstdio>
+
+#include "fig_common.h"
+
+int main() {
+  using namespace sedna::bench;
+  const auto checkpoints = default_checkpoints();
+  const std::uint64_t total = checkpoints.back();
+
+  std::printf("Reproducing Fig. 7(a): Memcached(3) vs. Sedna, 1 client\n");
+  const SweepResult sedna = run_sedna_sweep(1, total, checkpoints);
+  const SweepResult mc3 = run_memcached_sweep(1, total, 3, checkpoints);
+
+  emit_figure(
+      "Fig 7(a) — time spend (simulated ms) vs W/R operations",
+      "fig7a.csv", checkpoints,
+      {{"sedna_write", &sedna.write_ms},
+       {"sedna_read", &sedna.read_ms},
+       {"memcached3_write", &mc3.write_ms},
+       {"memcached3_read", &mc3.read_ms}});
+
+  // Shape check the paper reports: Sedna beats sequential-x3 Memcached.
+  const double sw = sedna.write_ms.at(total);
+  const double mw = mc3.write_ms.at(total);
+  const double sr = sedna.read_ms.at(total);
+  const double mr = mc3.read_ms.at(total);
+  std::printf("\nshape: sedna_write/memcached3_write = %.2f (expect < 1)\n",
+              sw / mw);
+  std::printf("shape: sedna_read/memcached3_read  = %.2f (expect < 1)\n",
+              sr / mr);
+  return (sw < mw && sr < mr) ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// Figure 7(b): W/R speed, Sedna vs Memcached writing/reading each datum
+// ONCE.
+//
+// Paper finding to reproduce (Section VI.A.1): "Sedna performance is
+// quite stable, and slightly slower than original write-once Memcached
+// performance" — Sedna pays for 3 replicas + quorum; plain Memcached does
+// a single unreplicated round trip.
+#include <cstdio>
+
+#include "fig_common.h"
+
+int main() {
+  using namespace sedna::bench;
+  const auto checkpoints = default_checkpoints();
+  const std::uint64_t total = checkpoints.back();
+
+  std::printf("Reproducing Fig. 7(b): Memcached(1) vs. Sedna, 1 client\n");
+  const SweepResult sedna = run_sedna_sweep(1, total, checkpoints);
+  const SweepResult mc1 = run_memcached_sweep(1, total, 1, checkpoints);
+
+  emit_figure(
+      "Fig 7(b) — time spend (simulated ms) vs W/R operations",
+      "fig7b.csv", checkpoints,
+      {{"sedna_write", &sedna.write_ms},
+       {"sedna_read", &sedna.read_ms},
+       {"memcached1_write", &mc1.write_ms},
+       {"memcached1_read", &mc1.read_ms}});
+
+  // Shape check: write-once Memcached is faster, but Sedna stays within a
+  // small constant factor (it does N=3 replication + quorum, not 3x the
+  // client round trips).
+  const double ratio_w = sedna.write_ms.at(total) / mc1.write_ms.at(total);
+  const double ratio_r = sedna.read_ms.at(total) / mc1.read_ms.at(total);
+  std::printf("\nshape: sedna_write/memcached1_write = %.2f"
+              " (expect > 1, < 3)\n", ratio_w);
+  std::printf("shape: sedna_read/memcached1_read  = %.2f"
+              " (expect > 1, < 3)\n", ratio_r);
+  return (ratio_w > 1.0 && ratio_w < 3.0 && ratio_r > 1.0 && ratio_r < 3.0)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,42 @@
+// Figure 8: R/W speed with nine concurrent clients vs one client (Sedna).
+//
+// Paper finding to reproduce (Section VI.A.2): "the I/O performance
+// indeed reduce[s] when there are more concurrent read/write clients ...
+// however, the overall throughput is larger than one client" — per-client
+// completion time rises under contention while aggregate ops/s grows.
+#include <cstdio>
+
+#include "fig_common.h"
+
+int main() {
+  using namespace sedna::bench;
+  const auto checkpoints = default_checkpoints();
+  const std::uint64_t total = checkpoints.back();
+
+  std::printf("Reproducing Fig. 8: nine clients vs one client (Sedna)\n");
+  const SweepResult one = run_sedna_sweep(1, total, checkpoints);
+  const SweepResult nine = run_sedna_sweep(9, total, checkpoints);
+
+  emit_figure(
+      "Fig 8 — time spend (simulated ms) vs R/W operations",
+      "fig8.csv", checkpoints,
+      {{"one_write", &one.write_ms},
+       {"one_read", &one.read_ms},
+       {"nine_write", &nine.write_ms},
+       {"nine_read", &nine.read_ms}});
+
+  const double slow_w = nine.write_ms.at(total) / one.write_ms.at(total);
+  const double slow_r = nine.read_ms.at(total) / one.read_ms.at(total);
+  // Aggregate throughput: 9 clients × total ops / their elapsed time,
+  // vs 1 × total / elapsed.
+  const double thr_one = static_cast<double>(total) / one.write_ms.at(total);
+  const double thr_nine =
+      9.0 * static_cast<double>(total) / nine.write_ms.at(total);
+  std::printf("\nshape: nine/one write slowdown = %.2fx (expect > 1)\n",
+              slow_w);
+  std::printf("shape: nine/one read slowdown  = %.2fx (expect > 1)\n",
+              slow_r);
+  std::printf("shape: aggregate write throughput nine/one = %.2fx"
+              " (expect > 1)\n", thr_nine / thr_one);
+  return (slow_w > 1.0 && slow_r > 1.0 && thr_nine > thr_one) ? 0 : 1;
+}

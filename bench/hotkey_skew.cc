@@ -1,0 +1,137 @@
+// Hot-key skew bench: what the per-vnode status + imbalance table
+// machinery (Section III.B) actually observes under realistic access
+// skew, and how the ring dilutes it.
+//
+// Drives uniform and zipf-distributed read workloads over the same data
+// and reports the per-node write/read imbalance (CV) plus the share of
+// accesses hitting the hottest vnode and hottest node. The paper's
+// motivating workloads (tweets, social graphs) are zipfian; the imbalance
+// table is the instrument a balancer needs to notice it.
+#include <cstdio>
+#include <map>
+
+#include "fig_common.h"
+
+using namespace sedna;
+using namespace sedna::bench;
+
+namespace {
+
+struct SkewResult {
+  double node_read_cv = 0;
+  double hottest_node_share = 0;
+  double hottest_vnode_share = 0;
+};
+
+SkewResult run_skew(double zipf_exponent, std::uint64_t reads,
+                    std::uint64_t universe) {
+  cluster::SednaClusterConfig cfg = paper_cluster_config();
+  cfg.cluster.total_vnodes = 1024;
+  cluster::SednaCluster cluster(cfg);
+  SkewResult out;
+  if (!cluster.boot().ok()) return out;
+  auto& client = cluster.make_client();
+  workload::KvWorkload wl;
+
+  // Load the universe.
+  std::uint32_t phase_done = 0;
+  workload::ClosedLoopDriver loader(
+      universe, [&](std::uint64_t i, const std::function<void()>& done) {
+        client.write_latest(wl.key(i), wl.value(),
+                            [done](const Status&) { done(); });
+      });
+  loader.start([&] { ++phase_done; });
+  cluster.run_until([&] { return phase_done == 1; });
+
+  // Read under the requested skew (exponent 0 => uniform).
+  ZipfGenerator zipf(universe, zipf_exponent <= 0 ? 0.01 : zipf_exponent,
+                     99);
+  Rng uniform(99);
+  phase_done = 0;
+  workload::ClosedLoopDriver reader(
+      reads, [&](std::uint64_t, const std::function<void()>& done) {
+        const std::uint64_t idx =
+            zipf_exponent <= 0
+                ? uniform.next_below(universe)
+                : static_cast<std::uint64_t>(zipf.next());
+        client.read_latest(wl.key(idx),
+                           [done](const Result<store::VersionedValue>&) {
+                             done();
+                           });
+      });
+  reader.start([&] { ++phase_done; });
+  cluster.run_until([&] { return phase_done == 1; });
+
+  // Aggregate per-node and per-vnode read frequency from the status
+  // tables the nodes keep (Section III.B).
+  ring::ImbalanceTable table;
+  std::map<VnodeId, std::uint64_t> vnode_reads;
+  std::uint64_t total = 0, hottest_node = 0;
+  for (std::size_t i = 0; i < cluster.data_node_count(); ++i) {
+    auto& node = cluster.node(i);
+    ring::RealNodeLoad row;
+    row.node = node.id();
+    const auto& status = node.vnode_status();
+    for (std::size_t v = 0; v < status.size(); ++v) {
+      row.reads += status[v].reads;
+      vnode_reads[static_cast<VnodeId>(v)] += status[v].reads;
+    }
+    table.update(row);
+    total += row.reads;
+    hottest_node = std::max(hottest_node, row.reads);
+  }
+  std::uint64_t hottest_vnode = 0;
+  for (const auto& [v, r] : vnode_reads) {
+    hottest_vnode = std::max(hottest_vnode, r);
+  }
+  out.node_read_cv = table.imbalance(&ring::RealNodeLoad::reads);
+  out.hottest_node_share =
+      total ? static_cast<double>(hottest_node) / total : 0;
+  out.hottest_vnode_share =
+      total ? static_cast<double>(hottest_vnode) / total : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Hot-key skew: what the imbalance table observes "
+              "(10k reads over 2k keys)\n\n");
+  std::printf("%-14s %14s %18s %19s\n", "workload", "node_read_cv",
+              "hottest_node_pct", "hottest_vnode_pct");
+
+  std::FILE* csv = std::fopen("hotkey_skew.csv", "w");
+  if (csv) std::fprintf(csv, "workload,node_cv,node_share,vnode_share\n");
+
+  const SkewResult uniform = run_skew(0.0, 10000, 2000);
+  const SkewResult zipf1 = run_skew(0.99, 10000, 2000);
+  const SkewResult zipf15 = run_skew(1.5, 10000, 2000);
+
+  auto row = [&](const char* name, const SkewResult& r) {
+    std::printf("%-14s %14.3f %17.1f%% %18.1f%%\n", name, r.node_read_cv,
+                100 * r.hottest_node_share, 100 * r.hottest_vnode_share);
+    if (csv) {
+      std::fprintf(csv, "%s,%.4f,%.4f,%.4f\n", name, r.node_read_cv,
+                   r.hottest_node_share, r.hottest_vnode_share);
+    }
+  };
+  row("uniform", uniform);
+  row("zipf-0.99", zipf1);
+  row("zipf-1.5", zipf15);
+  if (csv) std::fclose(csv);
+
+  // Shape: skew concentrates traffic on single vnodes far more than on
+  // whole nodes — many vnodes per node dilute hot keys across the
+  // cluster, which is precisely the virtual-node argument; and the
+  // imbalance table's CV visibly grows with skew, giving the balancer its
+  // signal.
+  const bool cv_grows = zipf15.node_read_cv > uniform.node_read_cv;
+  const bool vnodes_dilute =
+      zipf15.hottest_node_share < 3 * zipf15.hottest_vnode_share + 0.34;
+  std::printf("\nshape: read CV grows with skew: %s\n",
+              cv_grows ? "yes" : "NO");
+  std::printf("shape: node share stays well under concentrated vnode "
+              "share x3 + uniform floor: %s\n",
+              vnodes_dilute ? "yes" : "NO");
+  return (cv_grows && vnodes_dilute) ? 0 : 1;
+}

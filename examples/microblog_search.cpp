@@ -1,0 +1,244 @@
+// Micro-blogging realtime search engine — the paper's Section V use case,
+// end to end on the simulated cluster.
+//
+// Data layout (hierarchical keys, Section IV.C):
+//   tweets/msgs/<id>            = "author|retweets|text"   (crawler, step 2)
+//   social/follows/<user>       = value list of followees  (crawler)
+//   index/terms/<word>          = value list of postings   (indexer trigger)
+//                                 each posting tagged by message id:
+//                                 "msgid|author|retweets"
+//   authority/users/<user>      = value list, one entry per authored tweet
+//                                 (relationship trigger; list size = the
+//                                 author's "specialty" signal)
+//
+// Jobs (Section V: "there are different trigger based jobs"):
+//   * indexer    — monitors tweets/msgs, parses text, updates the
+//                  inverted index table;
+//   * authority  — monitors tweets/msgs, maintains per-author activity
+//                  used as the specialty ranking factor.
+//
+// Query (steps 6–7): read the posting list for each query term, join,
+// rank by  w1·social-connection(searcher, author) + w2·retweets +
+// w3·author-specialty  — the three factors of Section V.
+//
+// The run prints the crawl→searchable latency, the paper's "time between
+// (1) and (7)" freshness requirement.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "cluster/sedna_cluster.h"
+#include "trigger/service.h"
+#include "workload/tweets.h"
+
+using namespace sedna;
+
+namespace {
+
+struct Posting {
+  std::uint32_t msg_id = 0;
+  std::uint32_t author = 0;
+  std::uint32_t retweets = 0;
+};
+
+Posting parse_posting(const std::string& s) {
+  Posting p;
+  std::sscanf(s.c_str(), "%u|%u|%u", &p.msg_id, &p.author, &p.retweets);
+  return p;
+}
+
+std::vector<std::string> split_words(const std::string& text) {
+  std::vector<std::string> words;
+  std::istringstream in(text);
+  std::string w;
+  while (in >> w) words.push_back(w);
+  return words;
+}
+
+}  // namespace
+
+int main() {
+  cluster::SednaClusterConfig cfg;
+  cfg.zk_members = 3;
+  cfg.data_nodes = 6;
+  cfg.cluster.total_vnodes = 512;
+  cluster::SednaCluster cluster(cfg);
+  if (!cluster.boot().ok()) {
+    std::fprintf(stderr, "boot failed\n");
+    return 1;
+  }
+  std::printf("== Sedna micro-blogging search engine (paper Section V) ==\n");
+
+  // ---- trigger jobs (the "Process layer") -------------------------------
+  trigger::TriggerService triggers(cluster);
+  {
+    // Indexer: monitors the tweets table; for each new message, parses the
+    // text and appends one posting per word to the inverted index.
+    trigger::Job::Config jc;
+    jc.name = "indexer";
+    jc.trigger_interval = sim_ms(20);
+    trigger::DataHooks hooks;
+    hooks.add("tweets/msgs");
+    auto action = std::make_shared<trigger::FunctionAction>(
+        [](const std::string& key, const std::vector<std::string>& values,
+           trigger::ResultWriter& out) {
+          if (values.empty()) return;
+          const std::string msg_id = KeyPath::parse(key).key();
+          Posting p{};
+          char text[256] = {0};
+          std::sscanf(values[0].c_str(), "%u|%u|%255[^\n]", &p.author,
+                      &p.retweets, text);
+          const std::string posting = msg_id + "|" +
+                                      std::to_string(p.author) + "|" +
+                                      std::to_string(p.retweets);
+          for (const auto& word : split_words(text)) {
+            out.put_all_tagged(
+                "index/terms/" + word, posting,
+                static_cast<std::uint32_t>(std::stoul(msg_id)));
+          }
+        });
+    triggers.schedule(std::make_shared<trigger::Job>(
+        jc, trigger::TriggerInput{hooks, {}}, trigger::TriggerOutput{},
+        action));
+  }
+  {
+    // Authority job: maintains per-author activity (the "specialty of the
+    // relative messages' author" ranking factor).
+    trigger::Job::Config jc;
+    jc.name = "authority";
+    jc.trigger_interval = sim_ms(20);
+    trigger::DataHooks hooks;
+    hooks.add("tweets/msgs");
+    auto action = std::make_shared<trigger::FunctionAction>(
+        [](const std::string& key, const std::vector<std::string>& values,
+           trigger::ResultWriter& out) {
+          if (values.empty()) return;
+          std::uint32_t author = 0;
+          std::sscanf(values[0].c_str(), "%u|", &author);
+          const std::string msg_id = KeyPath::parse(key).key();
+          out.put_all_tagged(
+              "authority/users/" + std::to_string(author), "1",
+              static_cast<std::uint32_t>(std::stoul(msg_id)));
+        });
+    triggers.schedule(std::make_shared<trigger::Job>(
+        jc, trigger::TriggerInput{hooks, {}}, trigger::TriggerOutput{},
+        action));
+  }
+
+  // ---- the crawler (steps 1–3): tweets + social graph -------------------
+  auto& crawler = cluster.make_client();
+  workload::TweetGenerator gen;
+  constexpr int kTweets = 400;
+
+  std::printf("crawling %d tweets and the follower graph...\n", kTweets);
+  std::map<std::uint32_t, workload::Tweet> tweets_by_id;
+  const SimTime crawl_start = cluster.sim().now();
+  for (int i = 0; i < kTweets; ++i) {
+    const workload::Tweet t = gen.next();
+    tweets_by_id[static_cast<std::uint32_t>(t.id)] = t;
+    const std::string value = std::to_string(t.author) + "|" +
+                              std::to_string(t.retweets) + "|" + t.text;
+    cluster.write_latest(crawler,
+                         "tweets/msgs/" + std::to_string(t.id), value);
+  }
+  // Social connections stored with write_all: one list element per
+  // followee (paper: "not only ... the messages but also ... the social
+  // connection information, it will store this data into Sedna using
+  // write_all api").
+  std::set<std::uint32_t> users;
+  for (const auto& [id, t] : tweets_by_id) users.insert(t.author);
+  for (std::uint32_t user : users) {
+    for (std::uint32_t followee : gen.followees(user)) {
+      // Tag = followee id: the list accumulates the user's full follow set.
+      cluster::SednaClient& c = crawler;
+      std::optional<Status> done;
+      // write_all with an explicit source requires the tagged path; reuse
+      // the trigger-writer convention by writing via a trigger-less key:
+      // here the client tags with its own id per followee key instead.
+      c.write_all("social/follows/" + std::to_string(user) + "/" +
+                      std::to_string(followee),
+                  "1", [&](const Status& st) { done = st; });
+      cluster.run_until([&] { return done.has_value(); });
+    }
+  }
+
+  // ---- let the triggers index everything --------------------------------
+  cluster.run_for(sim_ms(800));
+  const double index_latency_ms =
+      (cluster.sim().now() - crawl_start) / 1000.0;
+
+  // ---- the searcher (steps 6–7) ------------------------------------------
+  auto& searcher_client = cluster.make_client();
+  const std::uint32_t searcher = 3;  // a fairly active user
+
+  // Load the searcher's follow set for the social-connection factor.
+  std::set<std::uint32_t> follows;
+  for (std::uint32_t followee : gen.followees(searcher)) {
+    follows.insert(followee);
+  }
+
+  const std::vector<std::string> query_terms = {
+      workload::TweetGenerator::word(0), workload::TweetGenerator::word(3)};
+  std::printf("\nsearch by user %u for: ", searcher);
+  for (const auto& term : query_terms) std::printf("\"%s\" ", term.c_str());
+  std::printf("\n");
+
+  const SimTime query_start = cluster.sim().now();
+  std::map<std::uint32_t, Posting> hits;
+  for (const auto& term : query_terms) {
+    auto postings = cluster.read_all(searcher_client, "index/terms/" + term);
+    if (!postings.ok()) continue;
+    for (const auto& sv : postings.value()) {
+      const Posting p = parse_posting(sv.value);
+      hits[p.msg_id] = p;
+    }
+  }
+
+  // Rank: w1 * social + w2 * retweets + w3 * author specialty.
+  struct Ranked {
+    double score;
+    Posting posting;
+  };
+  std::vector<Ranked> ranked;
+  for (const auto& [msg_id, p] : hits) {
+    double specialty = 0;
+    auto authority = cluster.read_all(
+        searcher_client, "authority/users/" + std::to_string(p.author));
+    if (authority.ok()) {
+      specialty = static_cast<double>(authority->size());
+    }
+    const double social = follows.contains(p.author) ? 1.0 : 0.0;
+    const double score = 50.0 * social + 1.0 * p.retweets + 2.0 * specialty;
+    ranked.push_back({score, p});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) { return a.score > b.score; });
+  const double query_latency_ms =
+      (cluster.sim().now() - query_start) / 1000.0;
+
+  std::printf("%zu matching messages; top 5:\n", ranked.size());
+  for (std::size_t i = 0; i < ranked.size() && i < 5; ++i) {
+    const auto& r = ranked[i];
+    const auto& tweet = tweets_by_id[r.posting.msg_id];
+    std::printf("  #%zu score=%5.1f msg=%u author=%u%s retweets=%u "
+                "text=\"%s\"\n",
+                i + 1, r.score, r.posting.msg_id, r.posting.author,
+                follows.contains(r.posting.author) ? "(followed)" : "",
+                r.posting.retweets, tweet.text.c_str());
+  }
+
+  const auto stats = triggers.aggregate_stats();
+  std::printf("\ncrawl -> searchable latency: %.0f ms (simulated); "
+              "query latency: %.1f ms\n", index_latency_ms,
+              query_latency_ms);
+  std::printf("trigger activations=%llu emits=%llu\n",
+              static_cast<unsigned long long>(stats.activations),
+              static_cast<unsigned long long>(stats.emits));
+
+  const bool ok = !ranked.empty() && stats.activations > 0;
+  std::printf("\n%s\n", ok ? "realtime search pipeline working"
+                           : "PIPELINE FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,175 @@
+// ClusterInspector: operational introspection over a SednaCluster.
+//
+// The paper's Fig. 2 shows a "cluster status manager" layer of pluggable
+// modules (replica management, nodes management, data balance). This is
+// the read-only half of that layer: a consolidated snapshot of node
+// health, storage, vnode distribution, imbalance, coordination state and
+// hot slices, plus a formatted report for operators. Used by the examples
+// and the failure drill; every field is also unit-testable.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/sedna_cluster.h"
+#include "ring/imbalance.h"
+
+namespace sedna::cluster {
+
+struct NodeReport {
+  NodeId id = kInvalidNode;
+  bool alive = false;
+  bool ready = false;
+  std::uint32_t vnodes = 0;
+  std::uint64_t items = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t read_repairs = 0;
+};
+
+struct HotVnode {
+  VnodeId vnode = kInvalidVnode;
+  NodeId owner = kInvalidNode;
+  std::uint64_t accesses = 0;
+};
+
+struct ClusterReport {
+  std::vector<NodeReport> nodes;
+  std::uint64_t total_items = 0;
+  std::uint64_t total_bytes = 0;
+  double vnode_imbalance = 0.0;    // CV of vnode counts over live nodes
+  double capacity_imbalance = 0.0;  // CV of resident bytes
+  std::vector<HotVnode> hottest;    // top slices by read+write frequency
+  NodeId zk_leader = kInvalidNode;
+  std::uint64_t zk_commits = 0;
+  std::size_t zk_sessions = 0;
+};
+
+class ClusterInspector {
+ public:
+  explicit ClusterInspector(SednaCluster& cluster) : cluster_(cluster) {}
+
+  [[nodiscard]] ClusterReport snapshot(std::size_t top_vnodes = 5) const {
+    ClusterReport report;
+    ring::ImbalanceTable imbalance;
+    std::map<VnodeId, std::uint64_t> vnode_heat;
+
+    for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+      auto& node = cluster_.node(i);
+      NodeReport row;
+      row.id = node.id();
+      row.alive = node.alive();
+      row.ready = node.ready();
+      const auto stats = node.local_store().stats();
+      row.items = stats.curr_items;
+      row.bytes = stats.bytes;
+      for (const auto& [owner, count] : node.metadata().table().counts()) {
+        if (owner == node.id()) row.vnodes = count;
+      }
+      const auto& status = node.vnode_status();
+      for (std::size_t v = 0; v < status.size(); ++v) {
+        row.reads += status[v].reads;
+        row.writes += status[v].writes;
+        if (status[v].reads + status[v].writes > 0) {
+          vnode_heat[static_cast<VnodeId>(v)] +=
+              status[v].reads + status[v].writes;
+        }
+      }
+      row.recoveries = node.metrics()
+                           .counter("failure.recoveries_completed")
+                           .value();
+      row.read_repairs =
+          node.metrics().counter("coordinator.read_repairs").value();
+      report.total_items += row.items;
+      report.total_bytes += row.bytes;
+      if (row.alive) {
+        ring::RealNodeLoad load;
+        load.node = row.id;
+        load.vnode_count = row.vnodes;
+        load.capacity_bytes = row.bytes;
+        load.reads = row.reads;
+        load.writes = row.writes;
+        imbalance.update(load);
+      }
+      report.nodes.push_back(row);
+    }
+    report.vnode_imbalance = imbalance.vnode_imbalance();
+    report.capacity_imbalance = imbalance.capacity_imbalance();
+
+    // Hottest slices, with their current owners.
+    std::vector<HotVnode> heat;
+    const auto& table = cluster_.node(0).metadata().table();
+    for (const auto& [vnode, accesses] : vnode_heat) {
+      heat.push_back({vnode, table.owner(vnode), accesses});
+    }
+    std::sort(heat.begin(), heat.end(),
+              [](const HotVnode& a, const HotVnode& b) {
+                return a.accesses > b.accesses;
+              });
+    if (heat.size() > top_vnodes) heat.resize(top_vnodes);
+    report.hottest = std::move(heat);
+
+    for (std::size_t i = 0; i < cluster_.config().zk_members; ++i) {
+      // leader + aggregate stats from whichever members are alive
+      auto& member = cluster_.zk_member(i);
+      if (member.alive() && member.is_leader()) {
+        report.zk_leader = member.id();
+      }
+      report.zk_commits =
+          std::max(report.zk_commits, member.commits_applied());
+      report.zk_sessions =
+          std::max(report.zk_sessions, member.session_count());
+    }
+    return report;
+  }
+
+  /// Human-readable report, one call for operators and examples.
+  void print(std::FILE* out = stdout, std::size_t top_vnodes = 5) const {
+    const ClusterReport r = snapshot(top_vnodes);
+    std::fprintf(out, "=== Sedna cluster report ===\n");
+    std::fprintf(out,
+                 "zookeeper: leader=member-%u commits=%llu sessions=%zu\n",
+                 r.zk_leader,
+                 static_cast<unsigned long long>(r.zk_commits),
+                 r.zk_sessions);
+    std::fprintf(out,
+                 "storage: %llu items, %llu bytes; imbalance: vnodes %.3f, "
+                 "capacity %.3f\n",
+                 static_cast<unsigned long long>(r.total_items),
+                 static_cast<unsigned long long>(r.total_bytes),
+                 r.vnode_imbalance, r.capacity_imbalance);
+    std::fprintf(out, "%-6s %-6s %-6s %7s %9s %12s %9s %9s %6s %7s\n",
+                 "node", "alive", "ready", "vnodes", "items", "bytes",
+                 "reads", "writes", "recov", "repairs");
+    for (const auto& n : r.nodes) {
+      std::fprintf(out,
+                   "%-6u %-6s %-6s %7u %9llu %12llu %9llu %9llu %6llu "
+                   "%7llu\n",
+                   n.id, n.alive ? "yes" : "NO", n.ready ? "yes" : "NO",
+                   n.vnodes, static_cast<unsigned long long>(n.items),
+                   static_cast<unsigned long long>(n.bytes),
+                   static_cast<unsigned long long>(n.reads),
+                   static_cast<unsigned long long>(n.writes),
+                   static_cast<unsigned long long>(n.recoveries),
+                   static_cast<unsigned long long>(n.read_repairs));
+    }
+    if (!r.hottest.empty()) {
+      std::fprintf(out, "hottest vnodes:");
+      for (const auto& h : r.hottest) {
+        std::fprintf(out, "  v%u@%u(%llu)", h.vnode, h.owner,
+                     static_cast<unsigned long long>(h.accesses));
+      }
+      std::fprintf(out, "\n");
+    }
+  }
+
+ private:
+  SednaCluster& cluster_;
+};
+
+}  // namespace sedna::cluster

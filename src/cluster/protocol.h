@@ -1,0 +1,349 @@
+// Sedna data-path wire protocol (message-type range 200–299).
+//
+// Clients route requests directly to the primary replica of a key's vnode
+// (zero-hop DHT, Section VII); that node coordinates the N-replica quorum
+// (Section III.C). Recovery traffic (vnode takeover + item transfer) uses
+// the same link layer.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "sim/message.h"
+#include "store/item.h"
+
+namespace sedna::cluster {
+
+constexpr sim::MessageType kMsgClientWrite = 200;
+constexpr sim::MessageType kMsgClientRead = 201;
+constexpr sim::MessageType kMsgReplicaWrite = 210;
+constexpr sim::MessageType kMsgReplicaRead = 211;
+constexpr sim::MessageType kMsgFetchVnode = 220;   // new owner → survivor
+constexpr sim::MessageType kMsgTakeoverVnode = 221;  // coordinator → new owner
+constexpr sim::MessageType kMsgPurgeVnode = 222;   // new owner → old owner
+constexpr sim::MessageType kMsgScan = 230;         // client → every node
+
+enum class WriteMode : std::uint8_t { kLatest = 0, kAll = 1 };
+enum class ReadMode : std::uint8_t { kLatest = 0, kAll = 1 };
+
+struct WriteRequest {
+  WriteMode mode = WriteMode::kLatest;
+  std::string key;
+  std::string value;
+  Timestamp ts = 0;
+  std::uint32_t flags = 0;
+  /// Source server tag for write_all value lists (Section III.F).
+  NodeId source = kInvalidNode;
+  /// Relative expiry in simulated microseconds; 0 = never. Applied by
+  /// each replica against its own clock at apply time.
+  std::uint64_t ttl = 0;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(key.size() + value.size() + 40);
+    w.put_u8(static_cast<std::uint8_t>(mode));
+    w.put_string(key);
+    w.put_string(value);
+    w.put_u64(ts);
+    w.put_u32(flags);
+    w.put_u32(source);
+    w.put_u64(ttl);
+    return std::move(w).take();
+  }
+
+  static Result<WriteRequest> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    WriteRequest req;
+    req.mode = static_cast<WriteMode>(r.get_u8());
+    req.key = r.get_string();
+    req.value = r.get_string();
+    req.ts = r.get_u64();
+    req.flags = r.get_u32();
+    req.source = r.get_u32();
+    req.ttl = r.get_u64();
+    if (r.failed()) return Status::Corruption("bad write request");
+    return req;
+  }
+};
+
+struct WriteReply {
+  /// kOk | kOutdated | kFailure (the three client-visible outcomes of
+  /// Section III.F) — plus kQuorumFailed for diagnostics.
+  StatusCode status = StatusCode::kOk;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(1);
+    w.put_u8(static_cast<std::uint8_t>(status));
+    return std::move(w).take();
+  }
+
+  static Result<WriteReply> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    WriteReply rep;
+    rep.status = static_cast<StatusCode>(r.get_u8());
+    if (r.failed()) return Status::Corruption("bad write reply");
+    return rep;
+  }
+};
+
+struct ReadRequest {
+  ReadMode mode = ReadMode::kLatest;
+  std::string key;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(key.size() + 8);
+    w.put_u8(static_cast<std::uint8_t>(mode));
+    w.put_string(key);
+    return std::move(w).take();
+  }
+
+  static Result<ReadRequest> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    ReadRequest req;
+    req.mode = static_cast<ReadMode>(r.get_u8());
+    req.key = r.get_string();
+    if (r.failed()) return Status::Corruption("bad read request");
+    return req;
+  }
+};
+
+struct ReadReply {
+  StatusCode status = StatusCode::kOk;
+  bool has_latest = false;
+  store::VersionedValue latest;
+  std::vector<store::SourceValue> value_list;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(latest.value.size() + 32);
+    w.put_u8(static_cast<std::uint8_t>(status));
+    w.put_bool(has_latest);
+    w.put_string(latest.value);
+    w.put_u64(latest.ts);
+    w.put_u32(latest.flags);
+    w.put_vector(value_list,
+                 [](BinaryWriter& out, const store::SourceValue& sv) {
+                   out.put_u32(sv.source);
+                   out.put_string(sv.value);
+                   out.put_u64(sv.ts);
+                 });
+    return std::move(w).take();
+  }
+
+  static Result<ReadReply> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    ReadReply rep;
+    rep.status = static_cast<StatusCode>(r.get_u8());
+    rep.has_latest = r.get_bool();
+    rep.latest.value = r.get_string();
+    rep.latest.ts = r.get_u64();
+    rep.latest.flags = r.get_u32();
+    rep.value_list = r.get_vector<store::SourceValue>(
+        [](BinaryReader& in) {
+          store::SourceValue sv;
+          sv.source = in.get_u32();
+          sv.value = in.get_string();
+          sv.ts = in.get_u64();
+          return sv;
+        });
+    if (r.failed()) return Status::Corruption("bad read reply");
+    return rep;
+  }
+};
+
+/// One transferable item (vnode recovery / join data movement).
+struct TransferItem {
+  std::string key;
+  bool has_latest = false;
+  store::VersionedValue latest;
+  std::vector<store::SourceValue> value_list;
+};
+
+struct FetchVnodeRequest {
+  VnodeId vnode = kInvalidVnode;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(4);
+    w.put_u32(vnode);
+    return std::move(w).take();
+  }
+  static Result<FetchVnodeRequest> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    FetchVnodeRequest req;
+    req.vnode = r.get_u32();
+    if (r.failed()) return Status::Corruption("bad fetch request");
+    return req;
+  }
+};
+
+struct FetchVnodeReply {
+  StatusCode status = StatusCode::kOk;
+  std::vector<TransferItem> items;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w;
+    w.put_u8(static_cast<std::uint8_t>(status));
+    w.put_vector(items, [](BinaryWriter& out, const TransferItem& item) {
+      out.put_string(item.key);
+      out.put_bool(item.has_latest);
+      out.put_string(item.latest.value);
+      out.put_u64(item.latest.ts);
+      out.put_u32(item.latest.flags);
+      out.put_vector(item.value_list,
+                     [](BinaryWriter& o2, const store::SourceValue& sv) {
+                       o2.put_u32(sv.source);
+                       o2.put_string(sv.value);
+                       o2.put_u64(sv.ts);
+                     });
+    });
+    return std::move(w).take();
+  }
+
+  static Result<FetchVnodeReply> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    FetchVnodeReply rep;
+    rep.status = static_cast<StatusCode>(r.get_u8());
+    rep.items = r.get_vector<TransferItem>([](BinaryReader& in) {
+      TransferItem item;
+      item.key = in.get_string();
+      item.has_latest = in.get_bool();
+      item.latest.value = in.get_string();
+      item.latest.ts = in.get_u64();
+      item.latest.flags = in.get_u32();
+      item.value_list = in.get_vector<store::SourceValue>(
+          [](BinaryReader& in2) {
+            store::SourceValue sv;
+            sv.source = in2.get_u32();
+            sv.value = in2.get_string();
+            sv.ts = in2.get_u64();
+            return sv;
+          });
+      return item;
+    });
+    if (r.failed()) return Status::Corruption("bad fetch reply");
+    return rep;
+  }
+};
+
+/// Prefix scan of one node's *primary* keys (keys whose vnode the node
+/// owns), capped at `limit`. Clients scatter this to every node and merge
+/// (an extension beyond the paper, which has no enumeration API).
+struct ScanRequest {
+  std::string prefix;
+  std::uint32_t limit = 1000;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(prefix.size() + 8);
+    w.put_string(prefix);
+    w.put_u32(limit);
+    return std::move(w).take();
+  }
+
+  static Result<ScanRequest> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    ScanRequest req;
+    req.prefix = r.get_string();
+    req.limit = r.get_u32();
+    if (r.failed()) return Status::Corruption("bad scan request");
+    return req;
+  }
+};
+
+struct ScanReply {
+  StatusCode status = StatusCode::kOk;
+  std::vector<std::string> keys;
+  bool truncated = false;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w;
+    w.put_u8(static_cast<std::uint8_t>(status));
+    w.put_vector(keys, [](BinaryWriter& out, const std::string& k) {
+      out.put_string(k);
+    });
+    w.put_bool(truncated);
+    return std::move(w).take();
+  }
+
+  static Result<ScanReply> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    ScanReply rep;
+    rep.status = static_cast<StatusCode>(r.get_u8());
+    rep.keys = r.get_vector<std::string>(
+        [](BinaryReader& in) { return in.get_string(); });
+    rep.truncated = r.get_bool();
+    if (r.failed()) return Status::Corruption("bad scan reply");
+    return rep;
+  }
+};
+
+/// Asks a previous owner to drop its now-redundant copy of a vnode's
+/// data. Carries the new owner so the receiver can update its cached
+/// table before deciding whether it still belongs to the replica set.
+struct PurgeVnodeRequest {
+  VnodeId vnode = kInvalidVnode;
+  NodeId new_owner = kInvalidNode;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(8);
+    w.put_u32(vnode);
+    w.put_u32(new_owner);
+    return std::move(w).take();
+  }
+
+  static Result<PurgeVnodeRequest> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    PurgeVnodeRequest req;
+    req.vnode = r.get_u32();
+    req.new_owner = r.get_u32();
+    if (r.failed()) return Status::Corruption("bad purge request");
+    return req;
+  }
+};
+
+struct TakeoverRequest {
+  VnodeId vnode = kInvalidVnode;
+  /// Healthy replicas to pull the data from, in preference order.
+  std::vector<NodeId> sources;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(16);
+    w.put_u32(vnode);
+    w.put_u32(static_cast<std::uint32_t>(sources.size()));
+    for (NodeId n : sources) w.put_u32(n);
+    return std::move(w).take();
+  }
+
+  static Result<TakeoverRequest> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    TakeoverRequest req;
+    req.vnode = r.get_u32();
+    const std::uint32_t n = r.get_u32();
+    for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+      req.sources.push_back(r.get_u32());
+    }
+    if (r.failed()) return Status::Corruption("bad takeover request");
+    return req;
+  }
+};
+
+// ZooKeeper path layout shared by nodes and clients.
+inline constexpr const char* kZkRoot = "/sedna";
+inline constexpr const char* kZkConfig = "/sedna/config";
+inline constexpr const char* kZkRealNodes = "/sedna/real_nodes";
+inline constexpr const char* kZkVnodes = "/sedna/vnodes";
+inline constexpr const char* kZkChanges = "/sedna/changes";
+
+[[nodiscard]] inline std::string vnode_znode(VnodeId v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s/v%06u", kZkVnodes, v);
+  return buf;
+}
+[[nodiscard]] inline std::string real_node_znode(NodeId n) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%s/node-%u", kZkRealNodes, n);
+  return buf;
+}
+
+}  // namespace sedna::cluster

@@ -1,0 +1,286 @@
+#include "cluster/sedna_client.h"
+
+#include <algorithm>
+
+namespace sedna::cluster {
+
+SednaClient::SednaClient(sim::Network& net, NodeId id,
+                         SednaClientConfig config)
+    : sim::Host(net, id, config.host),
+      config_(std::move(config)),
+      zk_(*this,
+          [this] {
+            auto zc = config_.zk_client;
+            zc.ensemble = config_.zk_ensemble;
+            return zc;
+          }()),
+      metadata_(zk_, *this) {}
+
+Timestamp SednaClient::next_ts() {
+  const auto seq = static_cast<std::uint16_t>(
+      ((id() & 0xff) << 8) | (write_seq_++ & 0xff));
+  return make_timestamp(now(), seq);
+}
+
+void SednaClient::start(ReadyCallback on_ready) {
+  zk_.connect([this, on_ready = std::move(on_ready)](const Status& st) {
+    if (!st.ok()) {
+      on_ready(st);
+      return;
+    }
+    metadata_.start([this, on_ready](const Status& meta_st) {
+      ready_ = meta_st.ok();
+      on_ready(meta_st);
+    });
+  });
+}
+
+void SednaClient::on_message(const sim::Message& msg) {
+  if (msg.type == zk::kMsgWatchEvent) zk_.on_watch_event(msg.payload);
+}
+
+NodeId SednaClient::coordinator_for(const std::string& key,
+                                    int attempt) const {
+  const auto replicas = metadata_.table().replicas_for_key(key);
+  if (replicas.empty()) return kInvalidNode;
+  return replicas[static_cast<std::size_t>(attempt) % replicas.size()];
+}
+
+void SednaClient::do_write(WriteRequest req, int attempt, WriteCallback cb) {
+  const NodeId coordinator = coordinator_for(req.key, attempt);
+  if (coordinator == kInvalidNode) {
+    cb(Status::Unavailable("no replicas for key"));
+    return;
+  }
+  // Encode before the lambda capture moves `req` (argument evaluation
+  // order is unspecified).
+  std::string payload = req.encode();
+  call_with_timeout(
+      coordinator, kMsgClientWrite, std::move(payload),
+      config_.op_timeout_us,
+      [this, req = std::move(req), attempt, cb = std::move(cb)](
+           const Status& st, const std::string& body) mutable {
+         Status final = Status::Failure("write attempts exhausted");
+         if (st.ok()) {
+           auto rep = WriteReply::decode(body);
+           // kUnavailable (node not ready) and kFailure (quorum broken —
+           // often stale routing at the coordinator while recovery is in
+           // flight) are retryable: the timestamp is pinned at the first
+           // attempt, so a replayed write is idempotent under LWW.
+           if (rep.ok() && rep->status != StatusCode::kUnavailable &&
+               rep->status != StatusCode::kFailure) {
+             metrics_.counter("client.writes").add(1);
+             cb(Status(rep->status));
+             return;
+           }
+           if (rep.ok()) final = Status(rep->status);
+         }
+         if (attempt + 1 >= config_.max_attempts) {
+           metrics_.counter("client.write_failures").add(1);
+           cb(final);
+           return;
+         }
+         // Refresh routing state, then retry via the next replica.
+         metrics_.counter("client.write_retries").add(1);
+         metadata_.sync_now([this, req = std::move(req), attempt,
+                             cb = std::move(cb)]() mutable {
+           do_write(std::move(req), attempt + 1, std::move(cb));
+         });
+       });
+}
+
+void SednaClient::do_read(ReadRequest req, int attempt,
+                          std::function<void(const Result<ReadReply>&)> cb) {
+  const NodeId coordinator = coordinator_for(req.key, attempt);
+  if (coordinator == kInvalidNode) {
+    cb(Status::Unavailable("no replicas for key"));
+    return;
+  }
+  std::string payload = req.encode();
+  call_with_timeout(
+      coordinator, kMsgClientRead, std::move(payload),
+      config_.op_timeout_us,
+      [this, req = std::move(req), attempt, cb = std::move(cb)](
+           const Status& st, const std::string& body) mutable {
+         Status final = Status::Failure("read attempts exhausted");
+         if (st.ok()) {
+           auto rep = ReadReply::decode(body);
+           if (rep.ok() && rep->status != StatusCode::kUnavailable &&
+               rep->status != StatusCode::kFailure) {
+             metrics_.counter("client.reads").add(1);
+             cb(std::move(rep));
+             return;
+           }
+           if (rep.ok()) final = Status(rep->status);
+         }
+         if (attempt + 1 >= config_.max_attempts) {
+           metrics_.counter("client.read_failures").add(1);
+           cb(final);
+           return;
+         }
+         metrics_.counter("client.read_retries").add(1);
+         metadata_.sync_now([this, req = std::move(req), attempt,
+                             cb = std::move(cb)]() mutable {
+           do_read(std::move(req), attempt + 1, std::move(cb));
+         });
+       });
+}
+
+void SednaClient::write_latest(const std::string& key,
+                               const std::string& value, WriteCallback cb) {
+  WriteRequest req;
+  req.mode = WriteMode::kLatest;
+  req.key = key;
+  req.value = value;
+  req.ts = next_ts();
+  req.source = id();
+  do_write(std::move(req), 0, std::move(cb));
+}
+
+void SednaClient::write_latest_ttl(const std::string& key,
+                                   const std::string& value,
+                                   std::uint64_t ttl_us, WriteCallback cb) {
+  WriteRequest req;
+  req.mode = WriteMode::kLatest;
+  req.key = key;
+  req.value = value;
+  req.ts = next_ts();
+  req.source = id();
+  req.ttl = ttl_us;
+  do_write(std::move(req), 0, std::move(cb));
+}
+
+void SednaClient::scan(const std::string& prefix, ScanCallback cb,
+                       std::uint32_t per_node_limit) {
+  const auto nodes = metadata_.table().nodes();
+  if (nodes.empty()) {
+    cb(Status::Unavailable("no data nodes"));
+    return;
+  }
+  ScanRequest req;
+  req.prefix = prefix;
+  req.limit = per_node_limit;
+  const std::string payload = req.encode();
+
+  auto result = std::make_shared<ScanResult>();
+  auto remaining = std::make_shared<std::size_t>(nodes.size());
+  auto failures = std::make_shared<std::size_t>(0);
+  auto shared_cb = std::make_shared<ScanCallback>(std::move(cb));
+  for (NodeId node : nodes) {
+    call(node, kMsgScan, payload,
+         [result, remaining, failures, shared_cb, total = nodes.size()](
+             const Status& st, const std::string& body) {
+           if (st.ok()) {
+             auto rep = ScanReply::decode(body);
+             if (rep.ok() && rep->status == StatusCode::kOk) {
+               result->keys.insert(result->keys.end(), rep->keys.begin(),
+                                   rep->keys.end());
+               result->truncated |= rep->truncated;
+             } else {
+               ++*failures;
+             }
+           } else {
+             ++*failures;
+           }
+           if (--*remaining != 0) return;
+           if (*failures == total) {
+             (*shared_cb)(Status::Unavailable("scan reached no node"));
+             return;
+           }
+           std::sort(result->keys.begin(), result->keys.end());
+           (*shared_cb)(*result);
+         });
+  }
+}
+
+void SednaClient::write_all(const std::string& key, const std::string& value,
+                            WriteCallback cb) {
+  WriteRequest req;
+  req.mode = WriteMode::kAll;
+  req.key = key;
+  req.value = value;
+  req.ts = next_ts();
+  req.source = id();
+  do_write(std::move(req), 0, std::move(cb));
+}
+
+void SednaClient::write_latest_batch(
+    const std::vector<std::pair<std::string, std::string>>& entries,
+    BatchWriteCallback cb) {
+  if (entries.empty()) {
+    cb({});
+    return;
+  }
+  auto results = std::make_shared<std::vector<Status>>(entries.size());
+  auto remaining = std::make_shared<std::size_t>(entries.size());
+  auto shared_cb = std::make_shared<BatchWriteCallback>(std::move(cb));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    write_latest(entries[i].first, entries[i].second,
+                 [results, remaining, shared_cb, i](const Status& st) {
+                   (*results)[i] = st;
+                   if (--*remaining == 0) (*shared_cb)(*results);
+                 });
+  }
+}
+
+void SednaClient::read_latest_batch(const std::vector<std::string>& keys,
+                                    BatchReadCallback cb) {
+  if (keys.empty()) {
+    cb({});
+    return;
+  }
+  auto results =
+      std::make_shared<std::vector<Result<store::VersionedValue>>>();
+  results->resize(keys.size(), Status::Unavailable("pending"));
+  auto remaining = std::make_shared<std::size_t>(keys.size());
+  auto shared_cb = std::make_shared<BatchReadCallback>(std::move(cb));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    read_latest(keys[i],
+                [results, remaining, shared_cb,
+                 i](const Result<store::VersionedValue>& r) {
+                  (*results)[i] = r;
+                  if (--*remaining == 0) (*shared_cb)(*results);
+                });
+  }
+}
+
+void SednaClient::read_latest(const std::string& key, ReadLatestCallback cb) {
+  ReadRequest req;
+  req.mode = ReadMode::kLatest;
+  req.key = key;
+  do_read(std::move(req), 0,
+          [cb = std::move(cb)](const Result<ReadReply>& rep) {
+            if (!rep.ok()) {
+              cb(rep.status());
+              return;
+            }
+            if (rep->status != StatusCode::kOk || !rep->has_latest) {
+              cb(Status(rep->status == StatusCode::kOk
+                            ? StatusCode::kNotFound
+                            : rep->status));
+              return;
+            }
+            cb(rep->latest);
+          });
+}
+
+void SednaClient::read_all(const std::string& key, ReadAllCallback cb) {
+  ReadRequest req;
+  req.mode = ReadMode::kAll;
+  req.key = key;
+  do_read(std::move(req), 0,
+          [cb = std::move(cb)](const Result<ReadReply>& rep) {
+            if (!rep.ok()) {
+              cb(rep.status());
+              return;
+            }
+            if (rep->status != StatusCode::kOk &&
+                rep->value_list.empty()) {
+              cb(Status(rep->status));
+              return;
+            }
+            cb(rep->value_list);
+          });
+}
+
+}  // namespace sedna::cluster

@@ -1,0 +1,121 @@
+// SednaClient: the client-side library (paper Section III.F APIs).
+//
+// A client host carries the same metadata machinery as a server — ZooKeeper
+// session plus lease-cached vnode table — so it can route each request in
+// zero hops straight to the key's primary replica, which coordinates the
+// quorum (Section VII: "each node caches enough routing information locally
+// to route a request to the appropriate node directly").
+//
+// API surface = the paper's four calls:
+//   write_latest(k, v)  → ok | outdated | failure
+//   write_all(k, v)     → ok | outdated | failure   (source = this client)
+//   read_latest(k)      → freshest value regardless of writer
+//   read_all(k)         → the full per-source value list
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/metadata.h"
+#include "cluster/protocol.h"
+#include "common/metrics.h"
+#include "sim/host.h"
+#include "store/item.h"
+#include "zk/zk_client.h"
+
+namespace sedna::cluster {
+
+struct SednaClientConfig {
+  std::vector<NodeId> zk_ensemble;
+  /// Attempts per operation; each retry targets the next replica as
+  /// coordinator after refreshing the metadata cache.
+  int max_attempts = 3;
+  /// Client-side deadline per attempt. Must comfortably exceed the
+  /// coordinator's replica RPC timeout: the coordinator may legitimately
+  /// take one full replica timeout to settle a quorum when a replica is
+  /// dead, and the client must still be listening when the answer comes.
+  SimDuration op_timeout_us = 250 * 1000;
+  zk::ZkClientConfig zk_client;
+  sim::HostConfig host;
+};
+
+class SednaClient : public sim::Host {
+ public:
+  using ReadyCallback = std::function<void(const Status&)>;
+  using WriteCallback = std::function<void(const Status&)>;
+  using ReadLatestCallback =
+      std::function<void(const Result<store::VersionedValue>&)>;
+  using ReadAllCallback =
+      std::function<void(const Result<std::vector<store::SourceValue>>&)>;
+
+  SednaClient(sim::Network& net, NodeId id, SednaClientConfig config);
+
+  /// Connects the session and loads the vnode table.
+  void start(ReadyCallback on_ready);
+  [[nodiscard]] bool ready() const { return ready_; }
+
+  void write_latest(const std::string& key, const std::string& value,
+                    WriteCallback cb);
+  /// write_latest with a relative expiry (microseconds; 0 = never):
+  /// every replica drops the value once the TTL lapses.
+  void write_latest_ttl(const std::string& key, const std::string& value,
+                        std::uint64_t ttl_us, WriteCallback cb);
+  void write_all(const std::string& key, const std::string& value,
+                 WriteCallback cb);
+  void read_latest(const std::string& key, ReadLatestCallback cb);
+  void read_all(const std::string& key, ReadAllCallback cb);
+
+  /// Pipelined batch variants: all operations are issued concurrently
+  /// (each still routed to its own key's coordinator); the callback fires
+  /// once with the per-key outcomes in input order. Throughput-oriented
+  /// realtime ingest (crawlers, event firehoses) should prefer these —
+  /// a closed loop per key wastes a full round trip per datum.
+  using BatchWriteCallback =
+      std::function<void(const std::vector<Status>&)>;
+  using BatchReadCallback = std::function<void(
+      const std::vector<Result<store::VersionedValue>>&)>;
+
+  void write_latest_batch(
+      const std::vector<std::pair<std::string, std::string>>& entries,
+      BatchWriteCallback cb);
+  void read_latest_batch(const std::vector<std::string>& keys,
+                         BatchReadCallback cb);
+
+  /// Prefix scan across the cluster (extension — the paper has no
+  /// enumeration API): scatter to every data node, gather the primary
+  /// keys under `prefix`, return them sorted. `truncated` reports
+  /// per-node limit overflow.
+  struct ScanResult {
+    std::vector<std::string> keys;
+    bool truncated = false;
+  };
+  using ScanCallback = std::function<void(const Result<ScanResult>&)>;
+  void scan(const std::string& prefix, ScanCallback cb,
+            std::uint32_t per_node_limit = 1000);
+
+  [[nodiscard]] MetadataCache& metadata() { return metadata_; }
+  [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
+  [[nodiscard]] Timestamp next_ts();
+
+ protected:
+  void on_message(const sim::Message& msg) override;
+
+ private:
+  void do_write(WriteRequest req, int attempt, WriteCallback cb);
+  void do_read(ReadRequest req, int attempt,
+               std::function<void(const Result<ReadReply>&)> cb);
+
+  /// Coordinator choice for attempt k: the k-th replica of the key.
+  [[nodiscard]] NodeId coordinator_for(const std::string& key,
+                                       int attempt) const;
+
+  SednaClientConfig config_;
+  zk::ZkClient zk_;
+  MetadataCache metadata_;
+  MetricRegistry metrics_;
+  bool ready_ = false;
+  std::uint16_t write_seq_ = 0;
+};
+
+}  // namespace sedna::cluster

@@ -1,0 +1,1015 @@
+#include "cluster/sedna_node.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "common/logging.h"
+#include "ring/rebalancer.h"
+
+namespace sedna::cluster {
+
+namespace {
+
+/// How long a positive ZooKeeper liveness check suppresses re-checking.
+constexpr SimDuration kAliveVerifyTtl = sim_ms(500);
+
+}  // namespace
+
+SednaNode::SednaNode(sim::Network& net, NodeId id, SednaNodeConfig config)
+    : sim::Host(net, id, config.host),
+      config_(std::move(config)),
+      zk_(*this,
+          [this] {
+            auto zc = config_.zk_client;
+            zc.ensemble = config_.zk_ensemble;
+            return zc;
+          }()),
+      metadata_(zk_, *this) {
+  store_ = std::make_unique<store::LocalStore>(
+      config_.store, [this] { return sim().now(); });
+  if (config_.persistence.mode != wal::PersistMode::kNone) {
+    persistence_ = std::make_unique<wal::PersistenceManager>(
+        config_.persistence, *store_);
+  }
+}
+
+SednaNode::~SednaNode() = default;
+
+Timestamp SednaNode::next_ts() {
+  // Writer-unique tie-break: node id in the high byte, a rolling sequence
+  // in the low byte, under the microsecond clock.
+  const auto seq = static_cast<std::uint16_t>(
+      ((id() & 0xff) << 8) | (write_seq_++ & 0xff));
+  return make_timestamp(now(), seq);
+}
+
+void SednaNode::start(ReadyCallback on_ready) {
+  if (persistence_ != nullptr) {
+    Status st = persistence_->start();
+    if (st.ok()) {
+      auto recovered = persistence_->recover();
+      if (recovered.ok() && recovered.value() > 0) {
+        metrics_.counter("persistence.recovered_records")
+            .add(recovered.value());
+      }
+    }
+    schedule_flush();
+  }
+  zk_.connect([this, on_ready = std::move(on_ready)](const Status& st) {
+    if (!st.ok()) {
+      on_ready(st);
+      return;
+    }
+    metadata_.start([this, on_ready](const Status& meta_st) {
+      if (!meta_st.ok()) {
+        on_ready(meta_st);
+        return;
+      }
+      // Register liveness *after* the table is loaded so other nodes never
+      // route to a node that cannot serve yet.
+      zk_.create(real_node_znode(id()), {}, zk::CreateMode::kEphemeral,
+                 [this, on_ready](const Result<std::string>& created) {
+                   if (!created.ok() &&
+                       !created.status().is(StatusCode::kAlreadyExists)) {
+                     on_ready(created.status());
+                     return;
+                   }
+                   ready_ = true;
+                   sim().schedule_periodic(config_.load_report_interval,
+                                           [this] { report_load(); });
+                   if (config_.rebalance_interval > 0) {
+                     sim().schedule_periodic(config_.rebalance_interval,
+                                             [this] { rebalance_tick(); });
+                   }
+                   on_ready(Status::Ok());
+                 });
+    });
+  });
+}
+
+void SednaNode::start_and_join(ReadyCallback on_ready) {
+  start([this, on_ready = std::move(on_ready)](const Status& st) {
+    if (!st.ok()) {
+      on_ready(st);
+      return;
+    }
+    auto moves = ring::Rebalancer::plan_join(metadata_.table(), id());
+    metrics_.counter("join.vnodes_planned").add(moves.size());
+    claim_vnodes(std::move(moves), 0, 0, on_ready);
+  });
+}
+
+void SednaNode::claim_vnodes(std::vector<ring::VnodeMove> moves,
+                             std::size_t next, std::uint32_t in_flight,
+                             ReadyCallback on_done) {
+  // Window of `takeover_parallelism` concurrent claims — the paper's
+  // parallel data-retrieving threads.
+  if (next >= moves.size() && in_flight == 0) {
+    on_done(Status::Ok());
+    return;
+  }
+  auto shared_moves =
+      std::make_shared<std::vector<ring::VnodeMove>>(std::move(moves));
+  auto pending = std::make_shared<std::uint32_t>(in_flight);
+  auto cursor = std::make_shared<std::size_t>(next);
+
+  // Pump-style scheduler: keep `takeover_parallelism` claims in flight.
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, shared_moves, pending, cursor, on_done, pump]() {
+    while (*cursor < shared_moves->size() &&
+           *pending < config_.takeover_parallelism) {
+      const auto move = (*shared_moves)[(*cursor)++];
+      ++*pending;
+      claim_one(move, [pending, pump] {
+        --*pending;
+        (*pump)();
+      });
+    }
+    if (*cursor >= shared_moves->size() && *pending == 0) {
+      on_done(Status::Ok());
+    }
+  };
+  (*pump)();
+}
+
+void SednaNode::claim_one(const ring::VnodeMove& move,
+                          std::function<void()> done) {
+  // CAS the vnode znode from the current owner to us, journal the change,
+  // then pull the data from the previous owner.
+  zk_.get(vnode_znode(move.vnode),
+          [this, move, done = std::move(done)](
+              const Result<std::pair<std::string, zk::ZnodeStat>>& got) {
+            if (!got.ok()) {
+              done();
+              return;
+            }
+            BinaryReader r(got->first);
+            const NodeId current = r.get_u32();
+            if (r.failed() || current != move.from) {
+              done();  // table changed under us; skip this vnode
+              return;
+            }
+            BinaryWriter w;
+            w.put_u32(id());
+            zk_.set(vnode_znode(move.vnode), std::move(w).take(),
+                    got->second.version,
+                    [this, move, done](const Result<zk::ZnodeStat>& set) {
+                      if (!set.ok()) {
+                        done();  // lost the race
+                        return;
+                      }
+                      metadata_.apply_local(move.vnode, id());
+                      metrics_.counter("join.vnodes_claimed").add(1);
+                      append_change_journal(
+                          move.vnode, id(), [this, move, done] {
+                            fetch_vnode_from(
+                                move.vnode, {move.from}, 0,
+                                [this, move, done](bool fetched) {
+                                  if (fetched) {
+                                    // The old owner may now drop its
+                                    // redundant copy of the slice.
+                                    PurgeVnodeRequest purge{move.vnode,
+                                                            id()};
+                                    send_oneway(move.from, kMsgPurgeVnode,
+                                                purge.encode());
+                                  }
+                                  done();
+                                });
+                          });
+                    });
+          });
+}
+
+void SednaNode::schedule_flush() {
+  if (persistence_ == nullptr ||
+      config_.persistence.mode != wal::PersistMode::kPeriodicFlush) {
+    return;
+  }
+  sim().schedule_periodic(config_.flush_interval, [this] {
+    if (!alive()) return;
+    if (persistence_->flush_snapshot().ok()) {
+      metrics_.counter("persistence.snapshots").add(1);
+    }
+  });
+}
+
+void SednaNode::report_load() {
+  if (!alive() || !ready_) return;
+  // The row is computed from the per-vnode statuses (paper III.B: "a[n]
+  // imbalance table for all the real nodes computed from the virtual
+  // nodes' status"), with resident bytes taken from the store.
+  ring::RealNodeLoad row;
+  row.node = id();
+  row.vnode_count = 0;
+  for (const auto& [node, count] : metadata_.table().counts()) {
+    if (node == id()) row.vnode_count = count;
+  }
+  row.capacity_bytes = store_->stats().bytes;
+  for (const auto& vs : vnode_status_) {
+    row.reads += vs.reads;
+    row.writes += vs.writes;
+  }
+  const std::string path =
+      std::string(kZkRealNodes) + "/load-" + std::to_string(id());
+  // Upsert: set, create on NotFound.
+  zk_.set(path, row.encode(), -1,
+          [this, path, row](const Result<zk::ZnodeStat>& set) {
+            if (set.ok() || !set.status().is(StatusCode::kNotFound)) return;
+            zk_.create(path, row.encode(), zk::CreateMode::kEphemeral,
+                       [](const Result<std::string>&) {});
+          });
+}
+
+void SednaNode::on_message(const sim::Message& msg) {
+  switch (msg.type) {
+    case kMsgClientWrite:
+      handle_client_write(msg);
+      break;
+    case kMsgClientRead:
+      handle_client_read(msg);
+      break;
+    case kMsgReplicaWrite:
+      handle_replica_write(msg);
+      break;
+    case kMsgReplicaRead:
+      handle_replica_read(msg);
+      break;
+    case kMsgFetchVnode:
+      handle_fetch_vnode(msg);
+      break;
+    case kMsgTakeoverVnode:
+      handle_takeover(msg);
+      break;
+    case kMsgPurgeVnode:
+      handle_purge_vnode(msg);
+      break;
+    case kMsgScan:
+      handle_scan(msg);
+      break;
+    case zk::kMsgWatchEvent:
+      zk_.on_watch_event(msg.payload);
+      break;
+    default:
+      break;
+  }
+}
+
+void SednaNode::on_crash() {
+  // Volatile state dies with the process; the LocalStore empties (it is
+  // RAM) and in-flight coordination is dropped. Persistence files remain
+  // on disk for restart-time recovery.
+  store_->clear();
+  recovering_.clear();
+  verified_alive_.clear();
+  ready_ = false;
+}
+
+StatusCode SednaNode::apply_write(const WriteRequest& req) {
+  // Per-vnode write frequency + rough capacity delta (paper III.B).
+  if (metadata_.ready()) {
+    const VnodeId v = metadata_.table().vnode_for_key(req.key);
+    if (vnode_status_.size() < metadata_.table().total_vnodes()) {
+      vnode_status_.resize(metadata_.table().total_vnodes());
+    }
+    ++vnode_status_[v].writes;
+    vnode_status_[v].capacity_bytes += req.key.size() + req.value.size();
+  }
+  Status st;
+  if (req.mode == WriteMode::kLatest) {
+    st = store_->write_latest(req.key, req.value, req.ts, req.flags,
+                              req.ttl);
+    if (st.ok() && persistence_ != nullptr) {
+      persistence_->on_write_latest(req.key, req.value, req.ts, req.flags);
+    }
+  } else {
+    st = store_->write_all(req.key, req.source, req.value, req.ts);
+    if (st.ok() && persistence_ != nullptr) {
+      persistence_->on_write_all(req.key, req.source, req.value, req.ts);
+    }
+  }
+  return st.code();
+}
+
+ReadReply SednaNode::local_read(const ReadRequest& req) {
+  if (metadata_.ready()) {
+    const VnodeId v = metadata_.table().vnode_for_key(req.key);
+    if (vnode_status_.size() < metadata_.table().total_vnodes()) {
+      vnode_status_.resize(metadata_.table().total_vnodes());
+    }
+    ++vnode_status_[v].reads;
+  }
+  ReadReply rep;
+  if (req.mode == ReadMode::kLatest) {
+    auto got = store_->read_latest(req.key);
+    if (got.ok()) {
+      rep.has_latest = true;
+      rep.latest = std::move(got).value();
+    } else {
+      rep.status = got.status().code();
+    }
+  } else {
+    auto got = store_->read_all(req.key);
+    if (got.ok()) {
+      rep.value_list = std::move(got).value();
+    } else {
+      rep.status = got.status().code();
+    }
+  }
+  return rep;
+}
+
+void SednaNode::handle_replica_write(const sim::Message& msg) {
+  auto req = WriteRequest::decode(msg.payload);
+  WriteReply rep;
+  if (!req.ok()) {
+    rep.status = StatusCode::kInvalidArgument;
+  } else {
+    rep.status = apply_write(*req);
+    metrics_.counter("replica.writes").add(1);
+  }
+  reply(msg, rep.encode());
+}
+
+void SednaNode::handle_replica_read(const sim::Message& msg) {
+  auto req = ReadRequest::decode(msg.payload);
+  if (!req.ok()) {
+    ReadReply rep;
+    rep.status = StatusCode::kInvalidArgument;
+    reply(msg, rep.encode());
+    return;
+  }
+  metrics_.counter("replica.reads").add(1);
+  reply(msg, local_read(*req).encode());
+}
+
+void SednaNode::handle_client_write(const sim::Message& msg) {
+  auto decoded = WriteRequest::decode(msg.payload);
+  if (!decoded.ok() || !ready_) {
+    WriteReply rep;
+    rep.status = decoded.ok() ? StatusCode::kUnavailable
+                              : StatusCode::kInvalidArgument;
+    reply(msg, rep.encode());
+    return;
+  }
+  WriteRequest req = std::move(decoded).value();
+  if (req.ts == 0) req.ts = next_ts();
+  if (req.source == kInvalidNode) req.source = msg.from;
+
+  const VnodeId vnode = metadata_.table().vnode_for_key(req.key);
+  const auto replicas = metadata_.table().replicas_for_vnode(vnode);
+  const auto cfg = metadata_.config();
+  metrics_.counter("coordinator.writes").add(1);
+  const SimTime started = now();
+
+  struct WriteState {
+    std::uint32_t acks = 0;
+    std::uint32_t outdated = 0;
+    std::uint32_t failures = 0;
+    std::uint32_t responses = 0;
+    bool replied = false;
+  };
+  auto state = std::make_shared<WriteState>();
+  const sim::Message origin = msg;
+  const auto total = static_cast<std::uint32_t>(replicas.size());
+
+  auto settle = [this, state, origin, cfg, total, started, vnode,
+                 key = req.key]() {
+    if (state->replied) return;
+    WriteReply rep;
+    if (state->acks >= cfg.write_quorum) {
+      rep.status = StatusCode::kOk;
+    } else if (state->responses < total) {
+      return;  // still waiting and quorum still possible
+    } else if (state->outdated > 0) {
+      rep.status = StatusCode::kOutdated;
+    } else {
+      rep.status = StatusCode::kFailure;  // recovery already triggered
+      metrics_.counter("coordinator.write_quorum_failures").add(1);
+    }
+    state->replied = true;
+    metrics_.histogram("coordinator.write_latency_us").record(now() - started);
+    reply(origin, rep.encode());
+  };
+
+  const std::string payload = req.encode();
+  for (NodeId replica : replicas) {
+    if (replica == id()) {
+      const StatusCode st = apply_write(req);
+      ++state->responses;
+      if (st == StatusCode::kOk) {
+        ++state->acks;
+      } else if (st == StatusCode::kOutdated) {
+        ++state->outdated;
+      } else {
+        ++state->failures;
+      }
+      settle();
+      continue;
+    }
+    call(replica, kMsgReplicaWrite, payload,
+         [this, state, settle, replica, vnode](const Status& st,
+                                               const std::string& body) {
+           ++state->responses;
+           if (!st.ok()) {
+             ++state->failures;
+             suspect_node(replica, vnode);
+           } else {
+             auto rep = WriteReply::decode(body);
+             if (rep.ok() && rep->status == StatusCode::kOk) {
+               ++state->acks;
+             } else if (rep.ok() && rep->status == StatusCode::kOutdated) {
+               ++state->outdated;
+             } else {
+               ++state->failures;
+             }
+           }
+           settle();
+         });
+  }
+}
+
+void SednaNode::handle_client_read(const sim::Message& msg) {
+  auto decoded = ReadRequest::decode(msg.payload);
+  if (!decoded.ok() || !ready_) {
+    ReadReply rep;
+    rep.status = decoded.ok() ? StatusCode::kUnavailable
+                              : StatusCode::kInvalidArgument;
+    reply(msg, rep.encode());
+    return;
+  }
+  const ReadRequest req = std::move(decoded).value();
+  const VnodeId vnode = metadata_.table().vnode_for_key(req.key);
+  const auto replicas = metadata_.table().replicas_for_vnode(vnode);
+  const auto cfg = metadata_.config();
+  metrics_.counter("coordinator.reads").add(1);
+  const SimTime started = now();
+
+  struct ReadState {
+    std::vector<std::pair<NodeId, ReadReply>> replies;
+    std::uint32_t responses = 0;
+    std::uint32_t failures = 0;
+    bool replied = false;
+    /// Value returned to the client (kLatest mode), for repairing
+    /// replicas whose replies arrive after the quorum settled.
+    bool has_answer = false;
+    store::VersionedValue answer;
+  };
+  auto state = std::make_shared<ReadState>();
+  const sim::Message origin = msg;
+  const auto total = static_cast<std::uint32_t>(replicas.size());
+
+  auto settle = [this, state, origin, cfg, total, started,
+                 req]() {
+    if (state->replied) return;
+
+    if (req.mode == ReadMode::kLatest) {
+      // Quorum rule (Section III.C): R replies carrying the *same
+      // timestamp* settle the read. Only *positive* replies may settle
+      // early — concluding "not found" from R misses while a replica that
+      // does hold the value has yet to answer would lose data during
+      // membership changes (a fresh replica-set member legitimately lacks
+      // the key until read repair backfills it).
+      for (const auto& [node, rep] : state->replies) {
+        if (!rep.has_latest) continue;
+        std::uint32_t agree = 0;
+        for (const auto& [other_node, other] : state->replies) {
+          if (other.has_latest && rep.latest.ts == other.latest.ts) ++agree;
+        }
+        if (agree >= cfg.read_quorum) {
+          state->replied = true;
+          state->has_answer = true;
+          state->answer = rep.latest;
+          metrics_.histogram("coordinator.read_latency_us")
+              .record(now() - started);
+          ReadReply out = rep;
+          out.status = StatusCode::kOk;
+          reply(origin, out.encode());
+          // Repair stragglers that have older (or no) data.
+          std::vector<NodeId> stale;
+          for (const auto& [other_node, other] : state->replies) {
+            if (!other.has_latest || other.latest.ts < rep.latest.ts) {
+              stale.push_back(other_node);
+            }
+          }
+          if (!stale.empty()) read_repair(req.key, rep.latest, stale);
+          return;
+        }
+      }
+      if (state->responses < total) return;  // keep waiting
+      // All replicas answered without an R-sized agreeing set: return the
+      // freshest value (eventual consistency) and repair the rest.
+      const ReadReply* freshest = nullptr;
+      for (const auto& [node, rep] : state->replies) {
+        if (rep.has_latest &&
+            (freshest == nullptr || rep.latest.ts > freshest->latest.ts)) {
+          freshest = &rep;
+        }
+      }
+      state->replied = true;
+      metrics_.histogram("coordinator.read_latency_us")
+          .record(now() - started);
+      ReadReply out;
+      if (freshest != nullptr) {
+        out = *freshest;
+        out.status = StatusCode::kOk;
+        state->has_answer = true;
+        state->answer = freshest->latest;
+        std::vector<NodeId> stale;
+        for (const auto& [node, rep] : state->replies) {
+          if (!rep.has_latest || rep.latest.ts < out.latest.ts) {
+            stale.push_back(node);
+          }
+        }
+        if (!stale.empty()) read_repair(req.key, out.latest, stale);
+      } else if (state->failures > 0) {
+        out.status = StatusCode::kFailure;
+      } else {
+        out.status = StatusCode::kNotFound;
+      }
+      reply(origin, out.encode());
+      return;
+    }
+
+    // read_all: wait for R successful replies, then merge the value lists
+    // (newest timestamp wins per source).
+    std::uint32_t successes = 0;
+    for (const auto& [node, rep] : state->replies) {
+      if (rep.status == StatusCode::kOk || !rep.value_list.empty()) {
+        ++successes;
+      }
+    }
+    const bool exhausted = state->responses >= total;
+    if (successes < cfg.read_quorum && !exhausted) return;
+    state->replied = true;
+    metrics_.histogram("coordinator.read_latency_us").record(now() - started);
+    ReadReply out;
+    std::map<NodeId, store::SourceValue> merged;
+    for (const auto& [node, rep] : state->replies) {
+      for (const auto& sv : rep.value_list) {
+        auto [it, inserted] = merged.try_emplace(sv.source, sv);
+        if (!inserted && sv.ts > it->second.ts) it->second = sv;
+      }
+    }
+    for (auto& [source, sv] : merged) out.value_list.push_back(sv);
+    if (out.value_list.empty()) {
+      out.status = state->failures > 0 && successes == 0
+                       ? StatusCode::kFailure
+                       : StatusCode::kNotFound;
+    }
+    reply(origin, out.encode());
+  };
+
+  const std::string payload = req.encode();
+  for (NodeId replica : replicas) {
+    if (replica == id()) {
+      ReadReply rep = local_read(req);
+      state->replies.emplace_back(id(), std::move(rep));
+      ++state->responses;
+      settle();
+      continue;
+    }
+    call(replica, kMsgReplicaRead, payload,
+         [this, state, settle, replica, vnode, key = req.key](
+             const Status& st, const std::string& body) {
+           ++state->responses;
+           if (!st.ok()) {
+             ++state->failures;
+             suspect_node(replica, vnode);
+           } else {
+             auto rep = ReadReply::decode(body);
+             if (rep.ok()) {
+               // Replies arriving after the quorum already settled still
+               // feed read repair: a replica that is behind (or brand
+               // new, after a membership change) gets the answer pushed.
+               if (state->replied && state->has_answer &&
+                   (!rep->has_latest ||
+                    rep->latest.ts < state->answer.ts)) {
+                 read_repair(key, state->answer, {replica});
+               }
+               state->replies.emplace_back(replica, std::move(rep).value());
+             } else {
+               ++state->failures;
+             }
+           }
+           settle();
+         });
+  }
+}
+
+void SednaNode::read_repair(const std::string& key,
+                            const store::VersionedValue& fresh,
+                            const std::vector<NodeId>& stale) {
+  metrics_.counter("coordinator.read_repairs").add(1);
+  WriteRequest req;
+  req.mode = WriteMode::kLatest;
+  req.key = key;
+  req.value = fresh.value;
+  req.ts = fresh.ts;
+  req.flags = fresh.flags;
+  const std::string payload = req.encode();
+  for (NodeId node : stale) {
+    if (node == id()) {
+      apply_write(req);
+    } else {
+      call(node, kMsgReplicaWrite, payload,
+           [](const Status&, const std::string&) {});
+    }
+  }
+}
+
+void SednaNode::suspect_node(NodeId replica, VnodeId vnode) {
+  // Damp repeated verification of a node we recently saw alive: a single
+  // dropped packet must not stampede ZooKeeper (Section III.E: "use local
+  // cache").
+  const auto it = verified_alive_.find(replica);
+  if (it != verified_alive_.end() &&
+      now() - it->second <= kAliveVerifyTtl) {
+    return;
+  }
+  metrics_.counter("failure.suspicions").add(1);
+  zk_.exists(real_node_znode(replica),
+             [this, replica, vnode](const Result<zk::ZnodeStat>& st) {
+               if (st.ok()) {
+                 verified_alive_[replica] = now();
+                 return;  // transient hiccup; node is registered
+               }
+               if (!st.status().is(StatusCode::kNotFound)) return;
+               // Ephemeral gone: the heartbeat lapsed and ZooKeeper
+               // expired the session — the node is dead (Section III.D).
+               // Recover every vnode the dead node owns within this key's
+               // replica walk (the walk spans vnodes until N distinct live
+               // owners are found; the dead node may own several of them).
+               const auto& table = metadata_.table();
+               const std::uint32_t n = table.total_vnodes();
+               const std::uint32_t want = metadata_.config().replicas;
+               std::vector<NodeId> live_seen;
+               for (std::uint32_t step = 0; step < n; ++step) {
+                 const VnodeId v = (vnode + step) % n;
+                 const NodeId owner = table.owner(v);
+                 if (owner == replica) {
+                   start_recovery(v, replica);
+                 } else if (owner != kInvalidNode &&
+                            std::find(live_seen.begin(), live_seen.end(),
+                                      owner) == live_seen.end()) {
+                   live_seen.push_back(owner);
+                   if (live_seen.size() >= want) break;
+                 }
+               }
+             });
+}
+
+void SednaNode::start_recovery(VnodeId vnode, NodeId dead) {
+  if (recovering_.contains(vnode)) return;
+  recovering_.insert(vnode);
+  metrics_.counter("failure.recoveries_started").add(1);
+
+  // Healthy sources for the slice: the vnode's other current replicas.
+  auto sources = metadata_.table().replicas_for_vnode(vnode);
+  std::erase(sources, dead);
+
+  zk_.children(
+      kZkRealNodes,
+      [this, vnode, dead, sources](
+          const Result<std::vector<std::string>>& kids) {
+        if (!kids.ok()) {
+          finish_recovery(vnode);
+          return;
+        }
+        // Live node set from the ephemeral registry.
+        std::vector<NodeId> live;
+        for (const auto& name : kids.value()) {
+          if (name.rfind("node-", 0) != 0) continue;
+          live.push_back(static_cast<NodeId>(
+              std::strtoul(name.c_str() + 5, nullptr, 10)));
+        }
+        // Candidates: live nodes not already holding this slice.
+        std::vector<NodeId> candidates;
+        for (NodeId n : live) {
+          if (n != dead &&
+              std::find(sources.begin(), sources.end(), n) ==
+                  sources.end()) {
+            candidates.push_back(n);
+          }
+        }
+        if (candidates.empty()) {
+          // Not enough distinct nodes to restore full replication; stay
+          // degraded (quorum reads/writes continue on the survivors).
+          metrics_.counter("failure.recovery_degraded").add(1);
+          finish_recovery(vnode);
+          return;
+        }
+        // Least-loaded candidate by our local vnode counts, tie by id.
+        const auto counts = metadata_.table().counts();
+        NodeId target = candidates.front();
+        std::uint32_t best = UINT32_MAX;
+        for (NodeId n : candidates) {
+          const auto cit = counts.find(n);
+          const std::uint32_t load = cit == counts.end() ? 0 : cit->second;
+          if (load < best || (load == best && n < target)) {
+            best = load;
+            target = n;
+          }
+        }
+        // CAS the vnode znode: first coordinator to notice wins; losers
+        // observe the new owner and stand down.
+        zk_.get(
+            vnode_znode(vnode),
+            [this, vnode, dead, target, sources](
+                const Result<std::pair<std::string, zk::ZnodeStat>>& got) {
+              if (!got.ok()) {
+                finish_recovery(vnode);
+                return;
+              }
+              BinaryReader r(got->first);
+              const NodeId current = r.get_u32();
+              if (r.failed() || current != dead) {
+                // Someone already recovered it.
+                if (!r.failed()) metadata_.apply_local(vnode, current);
+                finish_recovery(vnode);
+                return;
+              }
+              BinaryWriter w;
+              w.put_u32(target);
+              zk_.set(
+                  vnode_znode(vnode), std::move(w).take(),
+                  got->second.version,
+                  [this, vnode, target, sources](
+                      const Result<zk::ZnodeStat>& set) {
+                    if (!set.ok()) {
+                      metadata_.sync_now();
+                      finish_recovery(vnode);
+                      return;
+                    }
+                    metadata_.apply_local(vnode, target);
+                    metrics_.counter("failure.recoveries_completed").add(1);
+                    append_change_journal(vnode, target, [this, vnode,
+                                                          target, sources] {
+                      // Tell the new owner to pull the slice from the
+                      // surviving replicas (async duplication task,
+                      // Section III.C).
+                      TakeoverRequest req;
+                      req.vnode = vnode;
+                      req.sources = sources;
+                      send_oneway(target, kMsgTakeoverVnode, req.encode());
+                      finish_recovery(vnode);
+                    });
+                  });
+            });
+      });
+}
+
+void SednaNode::finish_recovery(VnodeId vnode) { recovering_.erase(vnode); }
+
+void SednaNode::append_change_journal(VnodeId vnode, NodeId owner,
+                                      std::function<void()> done) {
+  BinaryWriter w;
+  w.put_u32(vnode);
+  w.put_u32(owner);
+  zk_.create(std::string(kZkChanges) + "/c", std::move(w).take(),
+             zk::CreateMode::kPersistentSequential,
+             [done = std::move(done)](const Result<std::string>&) {
+               if (done) done();
+             });
+}
+
+void SednaNode::rebalance_tick() {
+  if (!alive() || !ready_) return;
+  zk_.children(
+      kZkRealNodes, [this](const Result<std::vector<std::string>>& kids) {
+        if (!kids.ok()) return;
+        std::vector<NodeId> live;
+        for (const auto& name : kids.value()) {
+          if (name.rfind("node-", 0) != 0) continue;
+          live.push_back(static_cast<NodeId>(
+              std::strtoul(name.c_str() + 5, nullptr, 10)));
+        }
+        // Single deterministic actor: the lowest live node id.
+        if (live.empty() ||
+            *std::min_element(live.begin(), live.end()) != id()) {
+          return;
+        }
+        auto moves = ring::Rebalancer::plan_rebalance(
+            metadata_.table(), config_.rebalance_tolerance);
+        // Only shuffle between live nodes; dead holders are the recovery
+        // path's business, not ours.
+        std::erase_if(moves, [&live](const ring::VnodeMove& m) {
+          return std::find(live.begin(), live.end(), m.from) == live.end() ||
+                 std::find(live.begin(), live.end(), m.to) == live.end();
+        });
+        if (moves.empty()) return;
+        if (moves.size() > config_.rebalance_max_moves) {
+          moves.resize(config_.rebalance_max_moves);
+        }
+        metrics_.counter("rebalance.rounds").add(1);
+        execute_moves(std::make_shared<std::vector<ring::VnodeMove>>(
+                          std::move(moves)),
+                      0);
+      });
+}
+
+void SednaNode::execute_moves(
+    std::shared_ptr<std::vector<ring::VnodeMove>> moves, std::size_t next) {
+  if (next >= moves->size()) return;
+  execute_move((*moves)[next], [this, moves, next] {
+    execute_moves(moves, next + 1);
+  });
+}
+
+void SednaNode::execute_move(const ring::VnodeMove& move,
+                             std::function<void()> done) {
+  // CAS-guarded reassignment, mirroring the join/recovery flows, but
+  // initiated by the balancer on behalf of a third node.
+  zk_.get(vnode_znode(move.vnode),
+          [this, move, done = std::move(done)](
+              const Result<std::pair<std::string, zk::ZnodeStat>>& got) {
+            if (!got.ok()) {
+              done();
+              return;
+            }
+            BinaryReader r(got->first);
+            const NodeId current = r.get_u32();
+            if (r.failed() || current != move.from) {
+              done();  // the table changed under the plan
+              return;
+            }
+            BinaryWriter w;
+            w.put_u32(move.to);
+            zk_.set(vnode_znode(move.vnode), std::move(w).take(),
+                    got->second.version,
+                    [this, move, done](const Result<zk::ZnodeStat>& set) {
+                      if (!set.ok()) {
+                        done();
+                        return;
+                      }
+                      metadata_.apply_local(move.vnode, move.to);
+                      metrics_.counter("rebalance.moves").add(1);
+                      append_change_journal(
+                          move.vnode, move.to, [this, move, done] {
+                            TakeoverRequest req;
+                            req.vnode = move.vnode;
+                            req.sources = {move.from};
+                            send_oneway(move.to, kMsgTakeoverVnode,
+                                        req.encode());
+                            done();
+                          });
+                    });
+          });
+}
+
+void SednaNode::handle_fetch_vnode(const sim::Message& msg) {
+  auto req = FetchVnodeRequest::decode(msg.payload);
+  FetchVnodeReply rep;
+  if (!req.ok() || !ready_) {
+    rep.status = StatusCode::kUnavailable;
+    reply(msg, rep.encode());
+    return;
+  }
+  const VnodeId vnode = req->vnode;
+  const auto& table = metadata_.table();
+  store_->for_each_matching(
+      [&table, vnode](std::string_view key) {
+        return table.vnode_for_key(key) == vnode;
+      },
+      [&rep](const store::Item& item) {
+        TransferItem out;
+        out.key = item.key;
+        out.has_latest = item.has_latest;
+        out.latest = item.latest;
+        out.value_list = item.value_list;
+        rep.items.push_back(std::move(out));
+      });
+  metrics_.counter("transfer.vnodes_served").add(1);
+  metrics_.counter("transfer.items_served").add(rep.items.size());
+  reply(msg, rep.encode());
+}
+
+void SednaNode::handle_scan(const sim::Message& msg) {
+  auto req = ScanRequest::decode(msg.payload);
+  ScanReply rep;
+  if (!req.ok() || !ready_) {
+    rep.status = StatusCode::kUnavailable;
+    reply(msg, rep.encode());
+    return;
+  }
+  // Report only keys whose primary vnode we own: the client scatters to
+  // every node, so replica copies must not triple the result set.
+  const auto& table = metadata_.table();
+  const std::string& prefix = req->prefix;
+  const std::uint32_t limit = req->limit;
+  store_->for_each_matching(
+      [&](std::string_view key) {
+        return key.substr(0, prefix.size()) == prefix &&
+               table.owner(table.vnode_for_key(key)) == id();
+      },
+      [&rep, limit](const store::Item& item) {
+        if (rep.keys.size() < limit) {
+          rep.keys.push_back(item.key);
+        } else {
+          rep.truncated = true;
+        }
+      });
+  metrics_.counter("coordinator.scans").add(1);
+  reply(msg, rep.encode());
+}
+
+void SednaNode::handle_purge_vnode(const sim::Message& msg) {
+  auto req = PurgeVnodeRequest::decode(msg.payload);
+  if (!req.ok()) return;
+  // Refresh the local view first: the journal entry naming the new owner
+  // may not have reached us yet.
+  metadata_.apply_local(req->vnode, req->new_owner);
+  const auto& table = metadata_.table();
+  // Only purge if we are truly out of the slice's replica set now; the
+  // previous owner often remains a successor replica on the walk.
+  const auto replicas = table.replicas_for_vnode(req->vnode);
+  if (std::find(replicas.begin(), replicas.end(), id()) != replicas.end()) {
+    return;
+  }
+  std::vector<std::string> doomed;
+  const VnodeId vnode = req->vnode;
+  store_->for_each_matching(
+      [&table, vnode](std::string_view key) {
+        return table.vnode_for_key(key) == vnode;
+      },
+      [&doomed](const store::Item& item) { doomed.push_back(item.key); });
+  for (const auto& key : doomed) store_->del(key);
+  metrics_.counter("transfer.purged_items").add(doomed.size());
+}
+
+void SednaNode::handle_takeover(const sim::Message& msg) {
+  auto req = TakeoverRequest::decode(msg.payload);
+  if (!req.ok()) return;
+  const VnodeId vnode = req->vnode;
+  const auto sources = req->sources;
+  fetch_vnode_from(vnode, sources, 0, [this, vnode, sources](bool ok) {
+    metrics_.counter(ok ? "transfer.takeovers_ok" : "transfer.takeovers_failed")
+        .add(1);
+    if (!ok) return;
+    // Invite ex-holders to drop their copies. Each source re-checks its
+    // own membership in the slice's replica set before deleting anything,
+    // so this is a no-op for sources that remain replicas (recovery) and
+    // a cleanup for true ex-owners (rebalancing).
+    PurgeVnodeRequest purge{vnode, id()};
+    for (NodeId source : sources) {
+      if (source != id() && network().node_up(source)) {
+        send_oneway(source, kMsgPurgeVnode, purge.encode());
+      }
+    }
+  });
+}
+
+void SednaNode::fetch_vnode_from(VnodeId vnode, std::vector<NodeId> sources,
+                                 std::size_t idx,
+                                 std::function<void(bool)> done) {
+  // Skip ourselves (we may appear in a replica walk) and exhausted lists.
+  while (idx < sources.size() && sources[idx] == id()) ++idx;
+  if (idx >= sources.size()) {
+    done(false);
+    return;
+  }
+  FetchVnodeRequest req;
+  req.vnode = vnode;
+  const NodeId source = sources[idx];  // read before the capture moves it
+  call(source, kMsgFetchVnode, req.encode(),
+       [this, vnode, sources = std::move(sources), idx,
+        done = std::move(done)](const Status& st,
+                                const std::string& body) mutable {
+         if (!st.ok()) {
+           fetch_vnode_from(vnode, std::move(sources), idx + 1,
+                            std::move(done));
+           return;
+         }
+         auto rep = FetchVnodeReply::decode(body);
+         if (!rep.ok() || rep->status != StatusCode::kOk) {
+           fetch_vnode_from(vnode, std::move(sources), idx + 1,
+                            std::move(done));
+           return;
+         }
+         for (const auto& item : rep->items) {
+           if (item.has_latest) {
+             WriteRequest w;
+             w.mode = WriteMode::kLatest;
+             w.key = item.key;
+             w.value = item.latest.value;
+             w.ts = item.latest.ts;
+             w.flags = item.latest.flags;
+             apply_write(w);
+           }
+           for (const auto& sv : item.value_list) {
+             WriteRequest w;
+             w.mode = WriteMode::kAll;
+             w.key = item.key;
+             w.value = sv.value;
+             w.ts = sv.ts;
+             w.source = sv.source;
+             apply_write(w);
+           }
+         }
+         metrics_.counter("transfer.items_received").add(rep->items.size());
+         done(true);
+       });
+}
+
+}  // namespace sedna::cluster

@@ -1,0 +1,169 @@
+// SednaNode: one Sedna server (paper Fig. 2's per-server stack).
+//
+// Components per node:
+//   * LocalStore            — the "modified Memcached" memory engine;
+//   * PersistenceManager    — optional WAL / periodic-flush strategy;
+//   * ZkClient + MetadataCache — session, ephemeral registration, cached
+//                             vnode table with adaptive-lease journal sync;
+//   * quorum coordinator    — the node fields client requests for keys
+//                             whose primary vnode it owns, fans them out
+//                             to the N replicas and applies the R/W rules
+//                             of Section III.C;
+//   * failure detector + recovery — a replica timeout makes the
+//                             coordinator check the ephemeral znode; if
+//                             gone, it CASes the vnode to a new owner,
+//                             journals the change, and tells the new owner
+//                             to pull the slice from healthy replicas
+//                             (Sections III.C/III.D);
+//   * join protocol         — a late-joining node steals vnodes with a
+//                             configurable number of parallel "data
+//                             retrieving threads" (Section III.D).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/metadata.h"
+#include "cluster/protocol.h"
+#include "common/metrics.h"
+#include "ring/imbalance.h"
+#include "ring/rebalancer.h"
+#include "sim/host.h"
+#include "store/local_store.h"
+#include "wal/persistence.h"
+#include "zk/zk_client.h"
+
+namespace sedna::cluster {
+
+struct SednaNodeConfig {
+  std::vector<NodeId> zk_ensemble;
+  store::LocalStoreConfig store;
+  wal::PersistenceConfig persistence;
+  /// Snapshot cadence under PersistMode::kPeriodicFlush.
+  SimDuration flush_interval = sim_sec(30);
+  /// Parallel vnode-claim transfers during join ("the data retrieving
+  /// threads number could be 16 or 8", Section III.D).
+  std::uint32_t takeover_parallelism = 8;
+  /// Push the imbalance-table row to ZooKeeper this often (Section III.B).
+  SimDuration load_report_interval = sim_sec(5);
+  /// Imbalance-driven rebalancing (the "data balance" pluggable module of
+  /// Fig. 2): the lowest-id live node periodically checks the vnode
+  /// spread and shifts slices from the most to the least loaded node.
+  /// 0 disables (the default — membership churn alone keeps the paper's
+  /// clusters balanced; enable for long-lived skew).
+  SimDuration rebalance_interval = 0;
+  /// Move only while max-min vnode count exceeds this.
+  std::uint32_t rebalance_tolerance = 2;
+  /// Moves executed per rebalance round (bounds transfer burstiness).
+  std::uint32_t rebalance_max_moves = 4;
+  zk::ZkClientConfig zk_client;  // ensemble is filled from zk_ensemble
+  sim::HostConfig host;
+};
+
+class SednaNode : public sim::Host {
+ public:
+  using ReadyCallback = std::function<void(const Status&)>;
+
+  SednaNode(sim::Network& net, NodeId id, SednaNodeConfig config);
+  ~SednaNode() override;
+
+  /// Boot sequence (Section III.D): local store first, then ZooKeeper
+  /// session, metadata load, ephemeral registration, load reporting.
+  void start(ReadyCallback on_ready);
+
+  /// Runtime join: additionally claims a fair share of vnodes from the
+  /// current holders, pulling their data in parallel.
+  void start_and_join(ReadyCallback on_ready);
+
+  [[nodiscard]] bool ready() const { return ready_; }
+  [[nodiscard]] store::LocalStore& local_store() { return *store_; }
+  /// Per-vnode counters (paper III.B: "we record all the virtual nodes'
+  /// status including its capacity, read/write frequency").
+  [[nodiscard]] const std::vector<ring::VnodeStatus>& vnode_status() const {
+    return vnode_status_;
+  }
+  [[nodiscard]] MetadataCache& metadata() { return metadata_; }
+  [[nodiscard]] zk::ZkClient& zk() { return zk_; }
+  [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
+  [[nodiscard]] wal::PersistenceManager* persistence() {
+    return persistence_.get();
+  }
+
+  /// Writer-unique monotone timestamp (Section III.F LWW ordering).
+  Timestamp next_ts();
+
+ protected:
+  void on_message(const sim::Message& msg) override;
+  void on_crash() override;
+
+ private:
+  // Coordinator paths.
+  void handle_client_write(const sim::Message& msg);
+  void handle_client_read(const sim::Message& msg);
+  // Replica paths.
+  void handle_replica_write(const sim::Message& msg);
+  void handle_replica_read(const sim::Message& msg);
+  // Recovery / transfer paths.
+  void handle_fetch_vnode(const sim::Message& msg);
+  void handle_takeover(const sim::Message& msg);
+  void handle_purge_vnode(const sim::Message& msg);
+  void handle_scan(const sim::Message& msg);
+
+  /// Applies a write to the local store + persistence. Used by both the
+  /// replica handler and the coordinator's own local copy.
+  StatusCode apply_write(const WriteRequest& req);
+  [[nodiscard]] ReadReply local_read(const ReadRequest& req);
+
+  /// Failure evidence from the data path: verify via ZooKeeper and kick
+  /// off recovery if the node is really gone (Section III.C).
+  void suspect_node(NodeId replica, VnodeId vnode);
+  void start_recovery(VnodeId vnode, NodeId dead);
+  void finish_recovery(VnodeId vnode);
+
+  /// Read repair: push the freshest value to replicas that answered with
+  /// stale or missing data.
+  void read_repair(const std::string& key,
+                   const store::VersionedValue& fresh,
+                   const std::vector<NodeId>& stale);
+
+  /// Join: claim the vnodes in `moves` with bounded parallelism.
+  void claim_vnodes(std::vector<ring::VnodeMove> moves, std::size_t next,
+                    std::uint32_t in_flight, ReadyCallback on_done);
+  void claim_one(const ring::VnodeMove& move, std::function<void()> done);
+
+  /// Pulls `vnode`'s items from the first healthy node in `sources`.
+  void fetch_vnode_from(VnodeId vnode, std::vector<NodeId> sources,
+                        std::size_t idx, std::function<void(bool)> done);
+
+  void append_change_journal(VnodeId vnode, NodeId owner,
+                             std::function<void()> done);
+  void report_load();
+  void schedule_flush();
+
+  /// Rebalance daemon: runs on the lowest-id live node only.
+  void rebalance_tick();
+  void execute_moves(std::shared_ptr<std::vector<ring::VnodeMove>> moves,
+                     std::size_t next);
+  void execute_move(const ring::VnodeMove& move, std::function<void()> done);
+
+  SednaNodeConfig config_;
+  std::unique_ptr<store::LocalStore> store_;
+  std::unique_ptr<wal::PersistenceManager> persistence_;
+  zk::ZkClient zk_;
+  MetadataCache metadata_;
+  MetricRegistry metrics_;
+  bool ready_ = false;
+  std::uint16_t write_seq_ = 0;
+  /// Per-vnode capacity/read/write counters, sized at metadata load.
+  std::vector<ring::VnodeStatus> vnode_status_;
+  /// Vnodes with an in-flight recovery (dedupe concurrent suspicion).
+  std::set<VnodeId> recovering_;
+  /// Nodes recently verified alive — damps repeated ZK existence checks.
+  std::map<NodeId, SimTime> verified_alive_;
+};
+
+}  // namespace sedna::cluster

@@ -1,0 +1,86 @@
+// Table / Dataset: ergonomic views over the hierarchical key space.
+//
+// The paper's data model (Sections II.B.1, IV.C): flat key-value pairs
+// whose keys are implicitly extended into a hierarchy — a *Table* is a
+// collection of pairs, a *Dataset* a collection of tables ("divide data
+// into different tables like Bigtable does"). These lightweight wrappers
+// compose the "dataset/table/key" paths and delegate to a SednaClient, so
+// application code reads like the paper's examples:
+//
+//   Dataset tweets(client, "tweets");
+//   Table msgs = tweets.table("msgs");
+//   msgs.put("42", payload, cb);            // writes tweets/msgs/42
+//   msgs.hook()                             // "tweets/msgs" for DataHooks
+//
+// Wrappers are value types holding a reference to the client; they add no
+// state or synchronization of their own.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "cluster/sedna_client.h"
+#include "common/keypath.h"
+
+namespace sedna::cluster {
+
+class Table {
+ public:
+  Table(SednaClient& client, std::string dataset, std::string name)
+      : client_(client),
+        dataset_(std::move(dataset)),
+        name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& dataset() const { return dataset_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// The flat key for a row, "dataset/table/key".
+  [[nodiscard]] std::string key_of(std::string_view row_key) const {
+    return make_key(dataset_, name_, row_key);
+  }
+  /// The path to hand to trigger DataHooks to watch this whole table.
+  [[nodiscard]] std::string hook() const { return dataset_ + "/" + name_; }
+
+  void put(const std::string& row_key, const std::string& value,
+           SednaClient::WriteCallback cb) {
+    client_.write_latest(key_of(row_key), value, std::move(cb));
+  }
+
+  void put_all(const std::string& row_key, const std::string& value,
+               SednaClient::WriteCallback cb) {
+    client_.write_all(key_of(row_key), value, std::move(cb));
+  }
+
+  void get(const std::string& row_key, SednaClient::ReadLatestCallback cb) {
+    client_.read_latest(key_of(row_key), std::move(cb));
+  }
+
+  void get_all(const std::string& row_key, SednaClient::ReadAllCallback cb) {
+    client_.read_all(key_of(row_key), std::move(cb));
+  }
+
+ private:
+  SednaClient& client_;
+  std::string dataset_;
+  std::string name_;
+};
+
+class Dataset {
+ public:
+  Dataset(SednaClient& client, std::string name)
+      : client_(client), name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// The path to hand to trigger DataHooks to watch the whole dataset.
+  [[nodiscard]] const std::string& hook() const { return name_; }
+
+  [[nodiscard]] Table table(std::string table_name) {
+    return Table(client_, name_, std::move(table_name));
+  }
+
+ private:
+  SednaClient& client_;
+  std::string name_;
+};
+
+}  // namespace sedna::cluster

@@ -1,0 +1,37 @@
+// CRC-32 (IEEE polynomial, reflected) for WAL and snapshot record framing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace sedna {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr auto kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view data,
+                                         std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (unsigned char byte : data) {
+    c = detail::kCrc32Table[(c ^ byte) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace sedna

@@ -1,0 +1,53 @@
+// Hash functions used for ring partitioning and the local store.
+//
+// The paper hashes each key to an INTEGER and mods it onto a virtual node
+// (Section III.B). We use 64-bit FNV-1a for the store's shard/bucket hash
+// and a Murmur3-style finalizer-strengthened hash for ring placement, so
+// the two layers are decorrelated.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sedna {
+
+/// 64-bit FNV-1a. Fast, decent avalanche for short keys like the paper's
+/// 20-byte "test-00000000000000" keys.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Murmur3 fmix64 finalizer: turns a weakly-mixed value into one with full
+/// avalanche. Used to decorrelate ring hashing from bucket hashing.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Ring hash: position of a key on the consistent-hash ring.
+[[nodiscard]] constexpr std::uint64_t ring_hash(std::string_view key) {
+  return mix64(fnv1a64(key) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+/// Bucket hash: used by LocalStore for shard and bucket selection.
+[[nodiscard]] constexpr std::uint64_t bucket_hash(std::string_view key) {
+  return fnv1a64(key);
+}
+
+/// Combines two hashes (for composite keys, e.g. dataset/table paths).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace sedna

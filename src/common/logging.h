@@ -1,0 +1,51 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// examples turn it on to narrate what the cluster is doing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace sedna {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, std::string_view component, std::string_view msg) {
+    if (!enabled(level)) return;
+    static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
+                                             "WARN", "ERROR", "OFF"};
+    std::fprintf(stderr, "[%s] %.*s: %.*s\n",
+                 kNames[static_cast<int>(level)],
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  }
+
+ private:
+  LogLevel level_ = LogLevel::kOff;
+};
+
+inline void log_info(std::string_view component, std::string_view msg) {
+  Logger::instance().log(LogLevel::kInfo, component, msg);
+}
+inline void log_warn(std::string_view component, std::string_view msg) {
+  Logger::instance().log(LogLevel::kWarn, component, msg);
+}
+inline void log_debug(std::string_view component, std::string_view msg) {
+  Logger::instance().log(LogLevel::kDebug, component, msg);
+}
+inline void log_error(std::string_view component, std::string_view msg) {
+  Logger::instance().log(LogLevel::kError, component, msg);
+}
+
+}  // namespace sedna

@@ -1,0 +1,116 @@
+// Counters and latency histograms used by benches and node instrumentation.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sedna {
+
+/// Monotone counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Log-bucketed histogram for latency-like quantities (microseconds).
+/// Buckets are [2^i, 2^(i+1)); quantile estimates interpolate inside a
+/// bucket. Cheap enough to record every simulated request.
+class Histogram {
+ public:
+  void record(std::uint64_t v) {
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    ++buckets_[bucket_index(v)];
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// q in [0, 1].
+  [[nodiscard]] double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (seen + buckets_[i] > target) {
+        const double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << i);
+        const double hi = static_cast<double>(2ULL << i);
+        const double frac =
+            buckets_[i] == 0
+                ? 0.0
+                : static_cast<double>(target - seen) /
+                      static_cast<double>(buckets_[i]);
+        return lo + frac * (hi - lo);
+      }
+      seen += buckets_[i];
+    }
+    return static_cast<double>(max_);
+  }
+
+  void reset() { *this = Histogram{}; }
+
+  void merge(const Histogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  }
+
+ private:
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v < 2) return 0;
+    return static_cast<std::size_t>(63 - __builtin_clzll(v));
+  }
+
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = static_cast<std::uint64_t>(-1);
+  std::uint64_t max_ = 0;
+  std::array<std::uint64_t, 64> buckets_{};
+};
+
+/// Named metric registry; one per node / per bench run.
+class MetricRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  void reset() {
+    counters_.clear();
+    histograms_.clear();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace sedna

@@ -1,0 +1,125 @@
+// Deterministic random number generation for workloads and the simulator.
+//
+// All stochastic behaviour in the repository (service-time jitter, workload
+// key choice, zipfian tweet authorship) flows through seeded Xoshiro256**
+// instances so experiments and tests replay bit-identically.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sedna {
+
+/// Xoshiro256** by Blackman & Vigna. Small, fast, high quality.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eda2012ULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's nearly-divisionless bounded generation (biased variant is
+    // fine for workload purposes; bias < 2^-64 * bound).
+    const auto x = next();
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Exponentially distributed value with the given mean (service times).
+  double next_exponential(double mean) {
+    double u = next_double();
+    if (u >= 1.0) u = 0.9999999999;
+    return -mean * std::log1p(-u);
+  }
+
+  /// Random lowercase-alphanumeric string of length n.
+  std::string next_string(std::size_t n) {
+    static constexpr char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string s(n, '\0');
+    for (auto& c : s) c = kAlphabet[next_below(sizeof(kAlphabet) - 1)];
+    return s;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+/// Zipf-distributed generator over [0, n). Used by the micro-blogging
+/// workload: a few authors produce most tweets, a few terms dominate
+/// queries. Precomputes the harmonic CDF; O(log n) per sample.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double exponent, std::uint64_t seed)
+      : rng_(seed), cdf_(n) {
+    double sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cdf_[i] = sum;
+    }
+    for (auto& v : cdf_) v /= sum;
+  }
+
+  std::size_t next() {
+    const double u = rng_.next_double();
+    // Binary search for the first CDF entry >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  [[nodiscard]] std::size_t universe() const { return cdf_.size(); }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace sedna

@@ -1,0 +1,47 @@
+// Core identifier and scalar types shared across all Sedna modules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sedna {
+
+/// Identifier of a real node (server) in the cluster. Dense, assigned at
+/// cluster construction; also used as the message-source tag in write_all
+/// value lists (paper Section III.F).
+using NodeId = std::uint32_t;
+
+/// Identifier of a virtual node: an index into the hash-ring slice table.
+using VnodeId = std::uint32_t;
+
+/// Logical timestamp attached to every stored value. Sedna resolves
+/// concurrent writes by last-writer-wins on this timestamp (Section III.F).
+/// In simulation this is the virtual clock in microseconds combined with a
+/// per-node sequence number to break ties deterministically.
+using Timestamp = std::uint64_t;
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// Duration in simulated microseconds.
+using SimDuration = std::uint64_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+constexpr VnodeId kInvalidVnode = static_cast<VnodeId>(-1);
+
+/// Convenience literal helpers for simulated durations.
+constexpr SimDuration sim_us(std::uint64_t v) { return v; }
+constexpr SimDuration sim_ms(std::uint64_t v) { return v * 1000; }
+constexpr SimDuration sim_sec(std::uint64_t v) { return v * 1000 * 1000; }
+
+/// Composes a tie-broken timestamp: high bits are the clock reading, low
+/// bits a writer-unique sequence so two writers at the same instant still
+/// order deterministically.
+constexpr Timestamp make_timestamp(SimTime now_us, std::uint16_t writer_seq) {
+  return (now_us << 16) | writer_seq;
+}
+
+constexpr SimTime timestamp_clock(Timestamp ts) { return ts >> 16; }
+
+}  // namespace sedna

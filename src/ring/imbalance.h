@@ -1,0 +1,133 @@
+// Imbalance table (Section III.B): "We record all the virtual nodes'
+// status including its capacity, read/write frequency. Besides, we also
+// maintain a[n] imbalance table for all the real nodes computed from the
+// virtual nodes' status. This information is calculated and stored
+// locally, and periodically updated to [the] ZooKeeper cluster."
+//
+// Each real node aggregates its own vnode statuses into a compact
+// RealNodeLoad row and pushes only that row — "quite small comparing with
+// the virtual nodes number".
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sedna::ring {
+
+/// Per-vnode counters a node maintains locally.
+struct VnodeStatus {
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  VnodeStatus& operator+=(const VnodeStatus& o) {
+    capacity_bytes += o.capacity_bytes;
+    reads += o.reads;
+    writes += o.writes;
+    return *this;
+  }
+};
+
+/// One row of the imbalance table: a real node's aggregate.
+struct RealNodeLoad {
+  NodeId node = kInvalidNode;
+  std::uint32_t vnode_count = 0;
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(40);
+    w.put_u32(node);
+    w.put_u32(vnode_count);
+    w.put_u64(capacity_bytes);
+    w.put_u64(reads);
+    w.put_u64(writes);
+    return std::move(w).take();
+  }
+
+  static Result<RealNodeLoad> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    RealNodeLoad row;
+    row.node = r.get_u32();
+    row.vnode_count = r.get_u32();
+    row.capacity_bytes = r.get_u64();
+    row.reads = r.get_u64();
+    row.writes = r.get_u64();
+    if (r.failed()) return Status::Corruption("bad load row");
+    return row;
+  }
+};
+
+/// The cluster-wide imbalance view, assembled from per-node rows.
+class ImbalanceTable {
+ public:
+  void update(const RealNodeLoad& row) { rows_[row.node] = row; }
+  void remove(NodeId node) { rows_.erase(node); }
+
+  [[nodiscard]] const std::map<NodeId, RealNodeLoad>& rows() const {
+    return rows_;
+  }
+
+  /// Coefficient of variation of a load dimension across nodes
+  /// (0 = perfectly balanced). Dimension selected by pointer-to-member.
+  template <typename T>
+  [[nodiscard]] double imbalance(T RealNodeLoad::* field) const {
+    if (rows_.size() < 2) return 0.0;
+    double sum = 0.0;
+    for (const auto& [node, row] : rows_) {
+      sum += static_cast<double>(row.*field);
+    }
+    const double mean = sum / static_cast<double>(rows_.size());
+    if (mean == 0.0) return 0.0;
+    double var = 0.0;
+    for (const auto& [node, row] : rows_) {
+      const double d = static_cast<double>(row.*field) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(rows_.size());
+    return std::sqrt(var) / mean;
+  }
+
+  [[nodiscard]] double capacity_imbalance() const {
+    return imbalance(&RealNodeLoad::capacity_bytes);
+  }
+  [[nodiscard]] double vnode_imbalance() const {
+    return imbalance(&RealNodeLoad::vnode_count);
+  }
+  [[nodiscard]] double write_imbalance() const {
+    return imbalance(&RealNodeLoad::writes);
+  }
+
+  /// The most and least loaded nodes by capacity (rebalance candidates).
+  [[nodiscard]] std::pair<NodeId, NodeId> hottest_coldest() const;
+
+ private:
+  std::map<NodeId, RealNodeLoad> rows_;
+};
+
+inline std::pair<NodeId, NodeId> ImbalanceTable::hottest_coldest() const {
+  NodeId hot = kInvalidNode, cold = kInvalidNode;
+  std::uint64_t hot_cap = 0, cold_cap = UINT64_MAX;
+  for (const auto& [node, row] : rows_) {
+    if (row.capacity_bytes >= hot_cap) {
+      hot_cap = row.capacity_bytes;
+      hot = node;
+    }
+    if (row.capacity_bytes < cold_cap) {
+      cold_cap = row.capacity_bytes;
+      cold = node;
+    }
+  }
+  return {hot, cold};
+}
+
+}  // namespace sedna::ring

@@ -1,0 +1,80 @@
+#include "ring/vnode_table.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+
+namespace sedna::ring {
+
+std::vector<NodeId> VnodeTable::replicas_for_vnode(VnodeId v) const {
+  std::vector<NodeId> result;
+  result.reserve(replicas_);
+  const std::uint32_t n = total_vnodes();
+  for (std::uint32_t step = 0; step < n && result.size() < replicas_;
+       ++step) {
+    const NodeId owner_id = assignment_[(v + step) % n];
+    if (owner_id == kInvalidNode) continue;
+    if (std::find(result.begin(), result.end(), owner_id) == result.end()) {
+      result.push_back(owner_id);
+    }
+  }
+  return result;
+}
+
+std::unordered_map<NodeId, std::uint32_t> VnodeTable::counts() const {
+  std::unordered_map<NodeId, std::uint32_t> counts;
+  for (NodeId n : assignment_) {
+    if (n != kInvalidNode) ++counts[n];
+  }
+  return counts;
+}
+
+std::vector<VnodeId> VnodeTable::vnodes_of(NodeId n) const {
+  std::vector<VnodeId> result;
+  for (std::uint32_t v = 0; v < assignment_.size(); ++v) {
+    if (assignment_[v] == n) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<NodeId> VnodeTable::nodes() const {
+  std::vector<NodeId> result;
+  for (const auto& [node, count] : counts()) result.push_back(node);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::uint32_t VnodeTable::moved_vnodes(const VnodeTable& before,
+                                       const VnodeTable& after) {
+  std::uint32_t moved = 0;
+  const std::uint32_t n = std::min(before.total_vnodes(),
+                                   after.total_vnodes());
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (before.assignment_[v] != after.assignment_[v]) ++moved;
+  }
+  return moved;
+}
+
+std::string VnodeTable::serialize() const {
+  BinaryWriter w(assignment_.size() * 4 + 16);
+  w.put_u32(replicas_);
+  w.put_u32(static_cast<std::uint32_t>(assignment_.size()));
+  for (NodeId n : assignment_) w.put_u32(n);
+  return std::move(w).take();
+}
+
+Result<VnodeTable> VnodeTable::deserialize(std::string_view bytes) {
+  BinaryReader r(bytes);
+  VnodeTable table;
+  table.replicas_ = r.get_u32();
+  const std::uint32_t n = r.get_u32();
+  if (r.failed() || n > (1u << 24)) {
+    return Status::Corruption("bad vnode table");
+  }
+  table.assignment_.resize(n, kInvalidNode);
+  for (std::uint32_t v = 0; v < n; ++v) table.assignment_[v] = r.get_u32();
+  if (r.failed()) return Status::Corruption("bad vnode table");
+  return table;
+}
+
+}  // namespace sedna::ring

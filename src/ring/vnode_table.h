@@ -1,0 +1,82 @@
+// VnodeTable: the consistent-hash ring of Section III.B.
+//
+// The ring is divided into a fixed number of equal slices — virtual nodes.
+// A key hashes to an integer and mods onto a vnode; the vnode's assigned
+// real node stores the primary copy (r1) and the owners of the next
+// distinct vnodes clockwise hold the replicas (r2, r3 in Fig. 3).
+// The vnode count is fixed at cluster creation ("once it is set, we can
+// not change it unless restart the Sedna cluster", Section III.D).
+//
+// The authoritative table lives in ZooKeeper (one znode per vnode); this
+// class is the in-memory form every node caches locally — Sedna's
+// zero-hop DHT routing state (Section VII).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sedna::ring {
+
+class VnodeTable {
+ public:
+  VnodeTable() = default;
+  VnodeTable(std::uint32_t total_vnodes, std::uint32_t replicas)
+      : replicas_(replicas),
+        assignment_(total_vnodes, kInvalidNode) {}
+
+  [[nodiscard]] std::uint32_t total_vnodes() const {
+    return static_cast<std::uint32_t>(assignment_.size());
+  }
+  [[nodiscard]] std::uint32_t replicas() const { return replicas_; }
+
+  [[nodiscard]] VnodeId vnode_for_key(std::string_view key) const {
+    return static_cast<VnodeId>(ring_hash(key) % assignment_.size());
+  }
+
+  [[nodiscard]] NodeId owner(VnodeId v) const { return assignment_[v]; }
+  void assign(VnodeId v, NodeId n) { assignment_[v] = n; }
+
+  /// Replica set for a vnode: the owner of `v` (r1) plus the owners of the
+  /// next vnodes clockwise, skipping repeats, until `replicas` distinct
+  /// real nodes are found (or the ring is exhausted).
+  [[nodiscard]] std::vector<NodeId> replicas_for_vnode(VnodeId v) const;
+
+  [[nodiscard]] std::vector<NodeId> replicas_for_key(
+      std::string_view key) const {
+    return replicas_for_vnode(vnode_for_key(key));
+  }
+
+  /// vnode count per real node (the load view the imbalance table uses).
+  [[nodiscard]] std::unordered_map<NodeId, std::uint32_t> counts() const;
+
+  /// All vnodes assigned to `n`.
+  [[nodiscard]] std::vector<VnodeId> vnodes_of(NodeId n) const;
+
+  /// Distinct real nodes present in the table.
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+
+  /// Number of assignments that differ between two tables (for the
+  /// minimal-movement property benches/tests).
+  [[nodiscard]] static std::uint32_t moved_vnodes(const VnodeTable& before,
+                                                  const VnodeTable& after);
+
+  [[nodiscard]] std::string serialize() const;
+  static Result<VnodeTable> deserialize(std::string_view bytes);
+
+  friend bool operator==(const VnodeTable& a, const VnodeTable& b) {
+    return a.replicas_ == b.replicas_ && a.assignment_ == b.assignment_;
+  }
+
+ private:
+  std::uint32_t replicas_ = 3;
+  std::vector<NodeId> assignment_;
+};
+
+}  // namespace sedna::ring

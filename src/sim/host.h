@@ -1,0 +1,184 @@
+// Simulated server: a CPU-serialized message handler with an RPC layer.
+//
+// CPU model: each host owns one logical core (the testbed's dual-core Xeons
+// ran one Sedna service each); incoming messages queue behind `cpu_free_`
+// and each costs a (seeded, jittered) service time. This serialization is
+// what produces the Fig. 8 behaviour — nine concurrent clients slow each
+// other down at the replicas while aggregate throughput rises.
+//
+// RPC: call() tags a message with a fresh rpc_id and arms a timeout timer.
+// The callback receives kOk plus the response payload, or kTimeout with an
+// empty payload when the peer crashed, the network dropped the message, or
+// the peer simply never answered. This is precisely the failure evidence
+// the paper's read/write paths act on (Section III.C).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/message.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace sedna::sim {
+
+struct HostConfig {
+  /// Mean CPU cost of handling one message (hash + store op + reply build).
+  /// ~8 us matches the era's Memcached at roughly 100k ops/s/core.
+  SimDuration base_service_us = 8;
+  /// Uniform jitter fraction applied to each service time.
+  double service_jitter_frac = 0.25;
+  /// Default RPC timeout.
+  SimDuration rpc_timeout_us = 50 * 1000;
+};
+
+class Host {
+ public:
+  using RpcCallback =
+      std::function<void(const Status&, const std::string& payload)>;
+
+  Host(Network& net, NodeId id, HostConfig config = {})
+      : net_(net), id_(id), config_(config) {
+    net_.attach(id_, this);
+  }
+  virtual ~Host() {
+    // Invalidate every event lambda that still points at this host (CPU
+    // dispatches, RPC timeouts): hosts may die while the simulation runs
+    // on (e.g. a short-lived bootstrap client).
+    *live_ = false;
+    for (auto& [rpc_id, pending] : pending_) pending.timeout.cancel();
+    net_.detach(id_);
+  }
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] Simulation& sim() const { return net_.sim(); }
+  [[nodiscard]] SimTime now() const { return net_.sim().now(); }
+  [[nodiscard]] Network& network() { return net_; }
+  [[nodiscard]] const HostConfig& config() const { return config_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+
+  /// Crash the host: stop receiving, forget pending RPCs (their remote
+  /// responses will be dropped by the network anyway). Recover with
+  /// restart(); subclasses override on_crash/on_restart for state effects.
+  void crash() {
+    alive_ = false;
+    net_.set_node_up(id_, false);
+    pending_.clear();
+    on_crash();
+  }
+  void restart() {
+    alive_ = true;
+    net_.set_node_up(id_, true);
+    cpu_free_ = sim().now();
+    on_restart();
+  }
+
+  /// Entry point used by Network: queue the message behind the CPU.
+  void deliver(const Message& msg) {
+    if (!alive_) return;
+    const SimTime start = std::max(sim().now(), cpu_free_);
+    const SimDuration cost = service_cost(msg);
+    cpu_free_ = start + cost;
+    Message copy = msg;
+    sim().schedule(cpu_free_ - sim().now(),
+                   [this, live = live_, m = std::move(copy)]() mutable {
+                     if (*live && alive_) dispatch(m);
+                   });
+  }
+
+  /// Issues a request and arms a timeout.
+  void call(NodeId to, MessageType type, std::string payload,
+            RpcCallback cb) {
+    call_with_timeout(to, type, std::move(payload), config_.rpc_timeout_us,
+                      std::move(cb));
+  }
+
+  void call_with_timeout(NodeId to, MessageType type, std::string payload,
+                         SimDuration timeout, RpcCallback cb) {
+    const std::uint64_t rpc_id = next_rpc_id_++;
+    auto timer = sim().schedule(timeout, [this, live = live_, rpc_id]() {
+      if (!*live) return;
+      auto it = pending_.find(rpc_id);
+      if (it == pending_.end()) return;
+      RpcCallback cb = std::move(it->second.callback);
+      pending_.erase(it);
+      cb(Status::Timeout(), {});
+    });
+    pending_.emplace(rpc_id, Pending{std::move(cb), timer});
+    net_.send(Message{id_, to, type, rpc_id, /*is_response=*/false,
+                      std::move(payload)});
+  }
+
+  /// One-way message; no response expected.
+  void send_oneway(NodeId to, MessageType type, std::string payload) {
+    net_.send(Message{id_, to, type, /*rpc_id=*/0, /*is_response=*/false,
+                      std::move(payload)});
+  }
+
+  /// Replies to a request received in on_message().
+  void reply(const Message& request, std::string payload) {
+    net_.send(Message{id_, request.from, request.type, request.rpc_id,
+                      /*is_response=*/true, std::move(payload)});
+  }
+
+  [[nodiscard]] std::size_t pending_rpcs() const { return pending_.size(); }
+
+ protected:
+  /// Handles a request or one-way message. Responses are routed to RPC
+  /// callbacks before reaching this.
+  virtual void on_message(const Message& msg) = 0;
+
+  virtual void on_crash() {}
+  virtual void on_restart() {}
+
+  /// CPU cost model; override for per-type costs.
+  virtual SimDuration service_cost(const Message& msg) {
+    (void)msg;
+    const double jitter =
+        1.0 + config_.service_jitter_frac * (2.0 * sim().rng().next_double() -
+                                             1.0);
+    const double cost =
+        static_cast<double>(config_.base_service_us) * jitter;
+    return cost < 1.0 ? 1 : static_cast<SimDuration>(cost);
+  }
+
+ private:
+  struct Pending {
+    RpcCallback callback;
+    TimerHandle timeout;
+  };
+
+  void dispatch(const Message& msg) {
+    if (msg.is_response) {
+      auto it = pending_.find(msg.rpc_id);
+      if (it == pending_.end()) return;  // response raced its own timeout
+      RpcCallback cb = std::move(it->second.callback);
+      it->second.timeout.cancel();
+      pending_.erase(it);
+      cb(Status::Ok(), msg.payload);
+      return;
+    }
+    on_message(msg);
+  }
+
+  Network& net_;
+  NodeId id_;
+  HostConfig config_;
+  /// Shared liveness token: lambdas queued in the simulation check it so
+  /// a destroyed host is never dereferenced.
+  std::shared_ptr<bool> live_ = std::make_shared<bool>(true);
+  bool alive_ = true;
+  SimTime cpu_free_ = 0;
+  std::uint64_t next_rpc_id_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace sedna::sim

@@ -1,0 +1,37 @@
+// Wire message for the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace sedna::sim {
+
+/// Message type tags. Each subsystem owns a numeric range so a single
+/// dispatch switch per host stays readable:
+///   100–199  ZooKeeper-lite client protocol and ensemble internals
+///   200–299  Sedna data path (replica read/write, recovery transfer)
+///   300–399  Memcached baseline protocol
+///   400–499  Trigger runtime control
+/// Tests may use 900+ freely.
+using MessageType = std::uint32_t;
+
+struct Message {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  MessageType type = 0;
+  /// Matches a response to its request; 0 for one-way messages.
+  std::uint64_t rpc_id = 0;
+  bool is_response = false;
+  /// Serialized payload (BinaryWriter/BinaryReader framing).
+  std::string payload;
+
+  [[nodiscard]] std::size_t wire_size() const {
+    // Headers modeled as a fixed 32-byte cost, roughly an Ethernet+IP+TCP
+    // header share plus framing, matching the 1 GbE testbed assumption.
+    return payload.size() + 32;
+  }
+};
+
+}  // namespace sedna::sim

@@ -1,0 +1,65 @@
+#include "sim/network.h"
+
+#include <cmath>
+
+#include "sim/host.h"
+
+namespace sedna::sim {
+
+void Network::attach(NodeId id, Host* host) { hosts_[id] = host; }
+
+void Network::set_node_up(NodeId id, bool up) {
+  if (up) {
+    down_.erase(id);
+  } else {
+    down_.insert(id);
+  }
+}
+
+SimDuration Network::delivery_delay(const Message& msg) {
+  const double transmit =
+      static_cast<double>(msg.wire_size()) / config_.bandwidth_bytes_per_us;
+  const double jitter =
+      1.0 + config_.jitter_frac * (2.0 * sim_.rng().next_double() - 1.0);
+  const double total =
+      static_cast<double>(config_.base_latency_us) * jitter + transmit;
+  return total < 1.0 ? 1 : static_cast<SimDuration>(total);
+}
+
+void Network::send(Message msg) {
+  ++sent_;
+  bytes_ += msg.wire_size();
+
+  // Loopback messages bypass the wire but still cost the receiver CPU.
+  const bool loopback = msg.from == msg.to;
+
+  if (down_.contains(msg.from) || down_.contains(msg.to) ||
+      (!loopback && partitions_.contains(edge(msg.from, msg.to)))) {
+    ++dropped_;
+    return;
+  }
+  if (!loopback && config_.loss_prob > 0.0 &&
+      sim_.rng().next_bool(config_.loss_prob)) {
+    ++dropped_;
+    return;
+  }
+
+  const SimDuration delay = loopback ? 1 : delivery_delay(msg);
+  sim_.schedule(delay, [this, m = std::move(msg)]() {
+    // Re-check liveness at delivery time: the receiver may have crashed
+    // while the message was in flight.
+    if (down_.contains(m.to)) {
+      ++dropped_;
+      return;
+    }
+    auto it = hosts_.find(m.to);
+    if (it == hosts_.end()) {
+      ++dropped_;
+      return;
+    }
+    ++delivered_;
+    it->second->deliver(m);
+  });
+}
+
+}  // namespace sedna::sim

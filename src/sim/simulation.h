@@ -1,0 +1,141 @@
+// Deterministic discrete-event simulation core.
+//
+// Substitutes for the paper's 9-server physical testbed (DESIGN.md §2):
+// a single virtual clock in microseconds, a seeded RNG, and an event queue
+// with stable FIFO ordering among same-time events so runs replay
+// bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace sedna::sim {
+
+/// Handle for a scheduled event; cancel() prevents execution. Handles are
+/// cheap shared tokens — copying one refers to the same underlying event.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  explicit TimerHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  [[nodiscard]] bool active() const { return cancelled_ && !*cancelled_; }
+
+ private:
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 2012) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedules fn to run `delay` microseconds from now. Returns a handle
+  /// that can cancel the event before it fires.
+  TimerHandle schedule(SimDuration delay, std::function<void()> fn) {
+    auto cancelled = std::make_shared<bool>(false);
+    queue_.push(Event{now_ + delay, next_seq_++, cancelled, std::move(fn)});
+    return TimerHandle{std::move(cancelled)};
+  }
+
+  /// Schedules fn to run every `interval`, first firing after `interval`.
+  /// Cancel via the returned handle (cancels all future firings).
+  TimerHandle schedule_periodic(SimDuration interval,
+                                std::function<void()> fn) {
+    auto cancelled = std::make_shared<bool>(false);
+    schedule_periodic_impl(interval, std::move(fn), cancelled);
+    return TimerHandle{std::move(cancelled)};
+  }
+
+  /// Runs a single event. Returns false when the queue is empty.
+  bool step() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.at;
+      if (*ev.cancelled) continue;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Runs until the queue drains or `max_events` fire (runaway guard).
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX) {
+    std::uint64_t n = 0;
+    while (n < max_events && step()) ++n;
+    return n;
+  }
+
+  /// Runs events with timestamps <= deadline; clock lands on `deadline`
+  /// afterwards (even if the queue drained earlier).
+  void run_until(SimTime deadline) {
+    while (!queue_.empty() && queue_.top().at <= deadline) {
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.at;
+      if (!*ev.cancelled) ev.fn();
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  void run_for(SimDuration d) { run_until(now_ + d); }
+
+  /// Runs until `pred()` turns true or the queue drains. Returns pred().
+  bool run_while_pending(const std::function<bool()>& pred) {
+    while (!pred()) {
+      if (!step()) break;
+    }
+    return pred();
+  }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tiebreak for same-time events
+    std::shared_ptr<bool> cancelled;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void schedule_periodic_impl(SimDuration interval, std::function<void()> fn,
+                              std::shared_ptr<bool> cancelled) {
+    queue_.push(Event{
+        now_ + interval, next_seq_++, cancelled,
+        [this, interval, fn = std::move(fn), cancelled]() mutable {
+          fn();
+          schedule_periodic_impl(interval, std::move(fn),
+                                 std::move(cancelled));
+        }});
+  }
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace sedna::sim

@@ -1,0 +1,701 @@
+#include "store/local_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <charconv>
+
+#include "common/hash.h"
+
+namespace sedna::store {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+struct LocalStore::Shard {
+  mutable std::mutex mu;
+  std::vector<Item*> buckets;
+  std::size_t item_count = 0;
+  std::size_t bytes = 0;
+  std::size_t budget = 0;  // 0 = unlimited
+  Item* lru_head = nullptr;  // most recently used
+  Item* lru_tail = nullptr;  // least recently used
+  SlabAccounting slabs;
+  StoreStats stats;
+  std::unordered_map<std::string, ChangeRecord> dirty;
+  bool track_changes = false;
+  MonitoredPredicate monitored_pred;
+
+  ~Shard() {
+    for (Item* head : buckets) {
+      while (head != nullptr) {
+        Item* next = head->hash_next;
+        delete head;
+        head = next;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t bucket_index(std::uint64_t hash) const {
+    return hash & (buckets.size() - 1);
+  }
+
+  Item* find(std::string_view key, std::uint64_t hash) {
+    for (Item* it = buckets[bucket_index(hash)]; it != nullptr;
+         it = it->hash_next) {
+      if (it->key == key) return it;
+    }
+    return nullptr;
+  }
+
+  void lru_unlink(Item* it) {
+    if (it->lru_prev != nullptr) {
+      it->lru_prev->lru_next = it->lru_next;
+    } else {
+      lru_head = it->lru_next;
+    }
+    if (it->lru_next != nullptr) {
+      it->lru_next->lru_prev = it->lru_prev;
+    } else {
+      lru_tail = it->lru_prev;
+    }
+    it->lru_prev = it->lru_next = nullptr;
+  }
+
+  void lru_push_front(Item* it) {
+    it->lru_prev = nullptr;
+    it->lru_next = lru_head;
+    if (lru_head != nullptr) lru_head->lru_prev = it;
+    lru_head = it;
+    if (lru_tail == nullptr) lru_tail = it;
+  }
+
+  void lru_touch(Item* it) {
+    if (lru_head == it) return;
+    lru_unlink(it);
+    lru_push_front(it);
+  }
+
+  void account_insert(Item* it) {
+    const std::size_t n = it->total_bytes();
+    bytes += n;
+    slabs.charge(n);
+  }
+
+  void account_remove(Item* it) {
+    const std::size_t n = it->total_bytes();
+    bytes -= std::min(bytes, n);
+    slabs.release(n);
+  }
+
+  /// Call with the item's *pre-mutation* size; re-accounts afterwards.
+  void reaccount(std::size_t old_total, Item* it) {
+    bytes -= std::min(bytes, old_total);
+    slabs.release(old_total);
+    account_insert(it);
+  }
+
+  void unlink_from_bucket(Item* it, std::uint64_t hash) {
+    Item** slot = &buckets[bucket_index(hash)];
+    while (*slot != nullptr && *slot != it) slot = &(*slot)->hash_next;
+    if (*slot == it) *slot = it->hash_next;
+    it->hash_next = nullptr;
+  }
+
+  /// Fully removes and frees the item.
+  void erase(Item* it) {
+    unlink_from_bucket(it, bucket_hash(it->key));
+    lru_unlink(it);
+    account_remove(it);
+    --item_count;
+    delete it;
+  }
+
+  void maybe_grow() {
+    if (item_count <= buckets.size() + buckets.size() / 4) return;
+    std::vector<Item*> grown(buckets.size() * 2, nullptr);
+    for (Item* head : buckets) {
+      while (head != nullptr) {
+        Item* next = head->hash_next;
+        const std::size_t idx =
+            bucket_hash(head->key) & (grown.size() - 1);
+        head->hash_next = grown[idx];
+        grown[idx] = head;
+        head = next;
+      }
+    }
+    buckets.swap(grown);
+  }
+
+  Item* insert_new(std::string_view key, std::uint64_t hash) {
+    auto* it = new Item();
+    it->key.assign(key);
+    if (monitored_pred) it->monitored = monitored_pred(key);
+    const std::size_t idx = bucket_index(hash);
+    it->hash_next = buckets[idx];
+    buckets[idx] = it;
+    lru_push_front(it);
+    ++item_count;
+    ++stats.total_items;
+    account_insert(it);
+    maybe_grow();
+    return it;
+  }
+
+  [[nodiscard]] bool should_capture(const Item& it) const {
+    if (!track_changes) return false;
+    if (!monitored_pred) return true;
+    return it.monitored;
+  }
+
+  /// Records (coalescing) a change for the dirty table. `old_val` is the
+  /// value before this shard-level mutation; records merge so a burst of
+  /// writes yields one record spanning first-old to last-new.
+  void record_change(Item& it, bool had_old, VersionedValue old_val,
+                     bool deleted) {
+    it.dirty = true;
+    ++stats.dirty_events;
+    auto [pos, inserted] = dirty.try_emplace(it.key);
+    ChangeRecord& rec = pos->second;
+    if (inserted) {
+      rec.key = it.key;
+      rec.had_old = had_old;
+      rec.old_value = std::move(old_val);
+    }
+    rec.deleted = deleted;
+    if (!deleted && it.has_latest) rec.new_value = it.latest;
+  }
+
+  void evict_to_budget() {
+    if (budget == 0) return;
+    while (bytes > budget && lru_tail != nullptr) {
+      Item* victim = lru_tail;
+      ++stats.evictions;
+      erase(victim);
+    }
+  }
+
+  [[nodiscard]] static bool is_expired(const Item& it, std::uint64_t now) {
+    return it.expires_at != 0 && now >= it.expires_at;
+  }
+
+  /// find() plus lazy expiry.
+  Item* find_live(std::string_view key, std::uint64_t hash,
+                  std::uint64_t now) {
+    Item* it = find(key, hash);
+    if (it == nullptr) return nullptr;
+    if (is_expired(*it, now)) {
+      ++stats.expired;
+      erase(it);
+      return nullptr;
+    }
+    return it;
+  }
+};
+
+LocalStore::LocalStore(LocalStoreConfig config, ClockFn clock)
+    : config_(config), clock_(std::move(clock)) {
+  const std::size_t n = round_up_pow2(std::max<std::size_t>(1, config_.shards));
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  const std::size_t per_shard_budget =
+      config_.memory_budget_bytes == 0 ? 0 : config_.memory_budget_bytes / n;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->buckets.assign(
+        round_up_pow2(std::max<std::size_t>(
+            8, config_.initial_buckets_per_shard)),
+        nullptr);
+    shard->budget = per_shard_budget;
+    shard->track_changes = config_.track_changes;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+LocalStore::~LocalStore() = default;
+
+LocalStore::Shard& LocalStore::shard_for(std::string_view key) {
+  return *shards_[mix64(bucket_hash(key)) & shard_mask_];
+}
+const LocalStore::Shard& LocalStore::shard_for(std::string_view key) const {
+  return *shards_[mix64(bucket_hash(key)) & shard_mask_];
+}
+
+std::uint64_t LocalStore::clock_now() const {
+  return clock_ ? clock_() : 0;
+}
+
+Timestamp LocalStore::next_timestamp() {
+  const auto seq = static_cast<std::uint16_t>(
+      ts_seq_.fetch_add(1, std::memory_order_relaxed));
+  Timestamp candidate = make_timestamp(clock_now(), seq);
+  // Strictly monotone even without a clock (or across a clock stall):
+  // never hand out a timestamp at or below the previous one.
+  Timestamp last = last_ts_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (candidate <= last) candidate = last + 1;
+    if (last_ts_.compare_exchange_weak(last, candidate,
+                                       std::memory_order_relaxed)) {
+      return candidate;
+    }
+  }
+}
+
+Status LocalStore::write_latest(std::string_view key, std::string_view value,
+                                Timestamp ts, std::uint32_t flags,
+                                std::uint64_t ttl) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  const std::uint64_t now = clock_now();
+  const std::uint64_t h = bucket_hash(key);
+  Item* it = s.find_live(key, h, now);
+  if (it == nullptr) it = s.insert_new(key, h);
+
+  if (it->has_latest && it->latest.ts >= ts) {
+    // Idempotent replay: the identical write (same ts, same value) is a
+    // success, not a conflict — coordinators and clients retry writes
+    // with a pinned timestamp after partial failures.
+    if (it->latest.ts == ts && it->latest.value == value) {
+      return Status::Ok();
+    }
+    ++s.stats.set_outdated;
+    return Status::Outdated();
+  }
+
+  const bool capture = s.should_capture(*it);
+  const bool had_old = it->has_latest;
+  VersionedValue old_val = capture && had_old ? it->latest : VersionedValue{};
+
+  const std::size_t old_total = it->total_bytes();
+  it->latest = VersionedValue{std::string(value), ts, flags};
+  it->has_latest = true;
+  if (ttl != 0) it->expires_at = now + ttl;
+  ++it->cas;
+  s.reaccount(old_total, it);
+  s.lru_touch(it);
+  ++s.stats.sets;
+  if (capture) s.record_change(*it, had_old, std::move(old_val), false);
+  s.evict_to_budget();
+  return Status::Ok();
+}
+
+Status LocalStore::write_all(std::string_view key, NodeId source,
+                             std::string_view value, Timestamp ts) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  const std::uint64_t h = bucket_hash(key);
+  Item* it = s.find_live(key, h, clock_now());
+  if (it == nullptr) it = s.insert_new(key, h);
+
+  auto elem = std::find_if(
+      it->value_list.begin(), it->value_list.end(),
+      [source](const SourceValue& sv) { return sv.source == source; });
+
+  if (elem != it->value_list.end() && elem->ts >= ts) {
+    if (elem->ts == ts && elem->value == value) {
+      return Status::Ok();  // idempotent replay (see write_latest)
+    }
+    ++s.stats.set_outdated;
+    return Status::Outdated();
+  }
+
+  const bool capture = s.should_capture(*it);
+  const std::size_t old_total = it->total_bytes();
+  if (elem == it->value_list.end()) {
+    it->value_list.push_back(SourceValue{source, std::string(value), ts});
+  } else {
+    elem->value.assign(value);
+    elem->ts = ts;
+  }
+  ++it->cas;
+  s.reaccount(old_total, it);
+  s.lru_touch(it);
+  ++s.stats.sets;
+  if (capture) s.record_change(*it, it->has_latest, it->latest, false);
+  s.evict_to_budget();
+  return Status::Ok();
+}
+
+Result<VersionedValue> LocalStore::read_latest(std::string_view key) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  Item* it = s.find_live(key, bucket_hash(key), clock_now());
+  if (it == nullptr || !it->has_latest) {
+    ++s.stats.get_misses;
+    return Status::NotFound();
+  }
+  s.lru_touch(it);
+  ++s.stats.get_hits;
+  return it->latest;
+}
+
+Result<std::vector<SourceValue>> LocalStore::read_all(std::string_view key) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  Item* it = s.find_live(key, bucket_hash(key), clock_now());
+  if (it == nullptr || it->value_list.empty()) {
+    ++s.stats.get_misses;
+    return Status::NotFound();
+  }
+  s.lru_touch(it);
+  ++s.stats.get_hits;
+  return it->value_list;
+}
+
+Status LocalStore::set(std::string_view key, std::string_view value,
+                       std::uint32_t flags, std::uint64_t ttl) {
+  return set_impl(key, value, flags, ttl, /*mode=kUnconditional*/ 0);
+}
+
+namespace {
+enum class SetMode { kUnconditional, kAddOnly, kReplaceOnly };
+}  // namespace
+
+/// Shared body of set/add/replace: one critical section so add/replace
+/// preconditions are atomic with the store (memcached semantics).
+Status LocalStore::set_impl(std::string_view key, std::string_view value,
+                            std::uint32_t flags, std::uint64_t ttl,
+                            int mode_raw) {
+  const auto mode = static_cast<SetMode>(mode_raw);
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  const std::uint64_t now = clock_now();
+  const std::uint64_t h = bucket_hash(key);
+  Item* it = s.find_live(key, h, now);
+  const bool exists = it != nullptr && it->has_latest;
+  if (mode == SetMode::kAddOnly && exists) return Status::AlreadyExists();
+  if (mode == SetMode::kReplaceOnly && !exists) return Status::NotFound();
+  if (it == nullptr) it = s.insert_new(key, h);
+
+  const bool capture = s.should_capture(*it);
+  const bool had_old = it->has_latest;
+  VersionedValue old_val = capture && had_old ? it->latest : VersionedValue{};
+
+  const std::size_t old_total = it->total_bytes();
+  it->latest = VersionedValue{std::string(value), next_timestamp(), flags};
+  it->has_latest = true;
+  it->expires_at = ttl == 0 ? 0 : now + ttl;
+  ++it->cas;
+  s.reaccount(old_total, it);
+  s.lru_touch(it);
+  ++s.stats.sets;
+  if (capture) s.record_change(*it, had_old, std::move(old_val), false);
+  s.evict_to_budget();
+  return Status::Ok();
+}
+
+Status LocalStore::add(std::string_view key, std::string_view value,
+                       std::uint32_t flags, std::uint64_t ttl) {
+  return set_impl(key, value, flags, ttl,
+                  static_cast<int>(SetMode::kAddOnly));
+}
+
+Status LocalStore::replace(std::string_view key, std::string_view value,
+                           std::uint32_t flags, std::uint64_t ttl) {
+  return set_impl(key, value, flags, ttl,
+                  static_cast<int>(SetMode::kReplaceOnly));
+}
+
+Result<VersionedValue> LocalStore::get(std::string_view key) {
+  return read_latest(key);
+}
+
+Result<std::pair<VersionedValue, std::uint64_t>> LocalStore::gets(
+    std::string_view key) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  Item* it = s.find_live(key, bucket_hash(key), clock_now());
+  if (it == nullptr || !it->has_latest) {
+    ++s.stats.get_misses;
+    return Status::NotFound();
+  }
+  s.lru_touch(it);
+  ++s.stats.get_hits;
+  return std::make_pair(it->latest, it->cas);
+}
+
+Status LocalStore::concat_impl(std::string_view key, std::string_view piece,
+                               bool after) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  Item* it = s.find_live(key, bucket_hash(key), clock_now());
+  if (it == nullptr || !it->has_latest) return Status::NotFound();
+  const bool capture = s.should_capture(*it);
+  VersionedValue old_val = capture ? it->latest : VersionedValue{};
+  const std::size_t old_total = it->total_bytes();
+  if (after) {
+    it->latest.value.append(piece);
+  } else {
+    it->latest.value.insert(0, piece);
+  }
+  it->latest.ts = next_timestamp();
+  ++it->cas;
+  s.reaccount(old_total, it);
+  s.lru_touch(it);
+  ++s.stats.sets;
+  if (capture) s.record_change(*it, true, std::move(old_val), false);
+  s.evict_to_budget();
+  return Status::Ok();
+}
+
+Status LocalStore::append(std::string_view key, std::string_view suffix) {
+  return concat_impl(key, suffix, /*after=*/true);
+}
+
+Status LocalStore::prepend(std::string_view key, std::string_view prefix) {
+  return concat_impl(key, prefix, /*after=*/false);
+}
+
+Status LocalStore::cas(std::string_view key, std::string_view value,
+                       std::uint64_t cas_token) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  Item* it = s.find_live(key, bucket_hash(key), clock_now());
+  if (it == nullptr || !it->has_latest) {
+    ++s.stats.cas_misses;
+    return Status::NotFound();
+  }
+  if (it->cas != cas_token) {
+    ++s.stats.cas_misses;
+    return Status::Failure("cas mismatch");
+  }
+  const bool capture = s.should_capture(*it);
+  VersionedValue old_val = capture ? it->latest : VersionedValue{};
+  const std::size_t old_total = it->total_bytes();
+  it->latest.value.assign(value);
+  it->latest.ts = next_timestamp();
+  ++it->cas;
+  s.reaccount(old_total, it);
+  s.lru_touch(it);
+  ++s.stats.cas_hits;
+  ++s.stats.sets;
+  if (capture) s.record_change(*it, true, std::move(old_val), false);
+  s.evict_to_budget();
+  return Status::Ok();
+}
+
+Result<std::uint64_t> LocalStore::incr(std::string_view key,
+                                       std::uint64_t delta) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  Item* it = s.find_live(key, bucket_hash(key), clock_now());
+  if (it == nullptr || !it->has_latest) return Status::NotFound();
+  std::uint64_t current = 0;
+  const auto& v = it->latest.value;
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), current);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    return Status::InvalidArgument("value is not a number");
+  }
+  current += delta;
+  const bool capture = s.should_capture(*it);
+  VersionedValue old_val = capture ? it->latest : VersionedValue{};
+  const std::size_t old_total = it->total_bytes();
+  it->latest.value = std::to_string(current);
+  it->latest.ts = next_timestamp();
+  ++it->cas;
+  s.reaccount(old_total, it);
+  s.lru_touch(it);
+  ++s.stats.sets;
+  if (capture) s.record_change(*it, true, std::move(old_val), false);
+  return current;
+}
+
+Result<std::uint64_t> LocalStore::decr(std::string_view key,
+                                       std::uint64_t delta) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  Item* it = s.find_live(key, bucket_hash(key), clock_now());
+  if (it == nullptr || !it->has_latest) return Status::NotFound();
+  std::uint64_t current = 0;
+  const auto& v = it->latest.value;
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), current);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    return Status::InvalidArgument("value is not a number");
+  }
+  current = current > delta ? current - delta : 0;  // memcached saturation
+  const bool capture = s.should_capture(*it);
+  VersionedValue old_val = capture ? it->latest : VersionedValue{};
+  const std::size_t old_total = it->total_bytes();
+  it->latest.value = std::to_string(current);
+  it->latest.ts = next_timestamp();
+  ++it->cas;
+  s.reaccount(old_total, it);
+  s.lru_touch(it);
+  ++s.stats.sets;
+  if (capture) s.record_change(*it, true, std::move(old_val), false);
+  return current;
+}
+
+Status LocalStore::del(std::string_view key) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  Item* it = s.find_live(key, bucket_hash(key), clock_now());
+  if (it == nullptr) return Status::NotFound();
+  if (s.should_capture(*it)) {
+    s.record_change(*it, it->has_latest, it->latest, /*deleted=*/true);
+  }
+  ++s.stats.deletes;
+  s.erase(it);
+  return Status::Ok();
+}
+
+Status LocalStore::touch(std::string_view key, std::uint64_t ttl) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  const std::uint64_t now = clock_now();
+  Item* it = s.find_live(key, bucket_hash(key), now);
+  if (it == nullptr) return Status::NotFound();
+  it->expires_at = ttl == 0 ? 0 : now + ttl;
+  s.lru_touch(it);
+  return Status::Ok();
+}
+
+void LocalStore::set_track_changes(bool on) {
+  for (auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    s->track_changes = on;
+  }
+}
+
+void LocalStore::set_monitored_predicate(MonitoredPredicate pred) {
+  for (auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    s->monitored_pred = pred;
+    // Re-evaluate existing items against the new predicate.
+    for (Item* head : s->buckets) {
+      for (Item* it = head; it != nullptr; it = it->hash_next) {
+        it->monitored = pred ? pred(it->key) : false;
+      }
+    }
+  }
+}
+
+std::vector<ChangeRecord> LocalStore::drain_changes() {
+  std::vector<ChangeRecord> out;
+  for (auto& s : shards_) {
+    std::unordered_map<std::string, ChangeRecord> taken;
+    {
+      std::lock_guard lock(s->mu);
+      taken.swap(s->dirty);
+      // Clear the Dirty column for swept items.
+      for (auto& [key, rec] : taken) {
+        Item* it = s->find(key, bucket_hash(key));
+        if (it != nullptr) it->dirty = false;
+      }
+    }
+    out.reserve(out.size() + taken.size());
+    for (auto& [key, rec] : taken) out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::size_t LocalStore::pending_changes() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    n += s->dirty.size();
+  }
+  return n;
+}
+
+std::size_t LocalStore::expire_sweep(std::size_t max_items) {
+  const std::uint64_t now = clock_now();
+  std::size_t removed = 0;
+  for (auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    for (std::size_t b = 0; b < s->buckets.size() && removed < max_items;
+         ++b) {
+      Item* it = s->buckets[b];
+      while (it != nullptr && removed < max_items) {
+        Item* next = it->hash_next;
+        if (Shard::is_expired(*it, now)) {
+          ++s->stats.expired;
+          s->erase(it);
+          ++removed;
+        }
+        it = next;
+      }
+    }
+  }
+  return removed;
+}
+
+StoreStats LocalStore::stats() const {
+  StoreStats total;
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    StoreStats shard_stats = s->stats;
+    shard_stats.curr_items = s->item_count;
+    shard_stats.bytes = s->bytes;
+    total += shard_stats;
+  }
+  return total;
+}
+
+std::size_t LocalStore::size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    n += s->item_count;
+  }
+  return n;
+}
+
+std::uint64_t LocalStore::slab_charged_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    n += s->slabs.charged_bytes();
+  }
+  return n;
+}
+
+void LocalStore::clear() {
+  for (auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    for (Item*& head : s->buckets) {
+      while (head != nullptr) {
+        Item* next = head->hash_next;
+        delete head;
+        head = next;
+      }
+      head = nullptr;
+    }
+    s->item_count = 0;
+    s->bytes = 0;
+    s->lru_head = s->lru_tail = nullptr;
+    s->dirty.clear();
+    s->slabs = SlabAccounting{};
+  }
+}
+
+void LocalStore::for_each(const std::function<void(const Item&)>& fn) const {
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    for (Item* head : s->buckets) {
+      for (Item* it = head; it != nullptr; it = it->hash_next) fn(*it);
+    }
+  }
+}
+
+void LocalStore::for_each_matching(
+    const std::function<bool(std::string_view)>& pred,
+    const std::function<void(const Item&)>& fn) const {
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    for (Item* head : s->buckets) {
+      for (Item* it = head; it != nullptr; it = it->hash_next) {
+        if (pred(it->key)) fn(*it);
+      }
+    }
+  }
+}
+
+}  // namespace sedna::store

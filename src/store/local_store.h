@@ -1,0 +1,170 @@
+// LocalStore: Sedna's per-server memory storage engine.
+//
+// Stands in for the "modified Memcached" the paper uses on every server
+// (Section VI): a sharded, mutex-per-shard hash table with intrusive
+// bucket chains, per-shard LRU eviction under a byte budget, slab-class
+// accounting, CAS, expiry — plus the Sedna extensions:
+//
+//   * timestamped last-writer-wins writes  (write_latest, Section III.F)
+//   * per-source value lists               (write_all,    Section III.F)
+//   * Dirty/Monitors columns with a coalescing dirty table that the
+//     trigger runtime sweeps                (Section IV.C, Fig. 5)
+//
+// The store is thread-safe and is used both single-threaded inside
+// simulated nodes and multi-threaded in the google-benchmark microbench.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "store/item.h"
+#include "store/slab.h"
+#include "store/stats.h"
+
+namespace sedna::store {
+
+struct LocalStoreConfig {
+  /// Number of independently locked shards; rounded up to a power of two.
+  std::size_t shards = 8;
+  std::size_t initial_buckets_per_shard = 1024;
+  /// Total resident-byte budget across shards; 0 disables eviction.
+  std::size_t memory_budget_bytes = 0;
+  /// Capture old/new values into the dirty table on every change
+  /// (enabled by the trigger runtime; costs one value copy per write).
+  bool track_changes = false;
+};
+
+/// One coalesced change, as swept by the trigger runtime's DirtyScanner.
+/// If several writes hit a key between sweeps, `old_value` is from before
+/// the first and `new_value` from after the last — "the most fresh data
+/// matters most" (Section IV.B).
+struct ChangeRecord {
+  std::string key;
+  bool had_old = false;
+  VersionedValue old_value;
+  VersionedValue new_value;
+  bool deleted = false;
+};
+
+class LocalStore {
+ public:
+  /// Clock used for expiry and default timestamps. Simulated nodes pass
+  /// the virtual clock; standalone users may leave the default (a process
+  /// monotonic counter).
+  using ClockFn = std::function<std::uint64_t()>;
+  /// Consulted (when set) to decide if a key's changes are captured.
+  using MonitoredPredicate = std::function<bool(std::string_view)>;
+
+  explicit LocalStore(LocalStoreConfig config = {}, ClockFn clock = {});
+  ~LocalStore();
+
+  LocalStore(const LocalStore&) = delete;
+  LocalStore& operator=(const LocalStore&) = delete;
+
+  // ---- Sedna data path -------------------------------------------------
+
+  /// Stores `value` if `ts` is newer than the current latest timestamp;
+  /// returns kOutdated otherwise (paper III.F). A nonzero `ttl` sets a
+  /// relative expiry from the store's clock.
+  Status write_latest(std::string_view key, std::string_view value,
+                      Timestamp ts, std::uint32_t flags = 0,
+                      std::uint64_t ttl = 0);
+
+  /// Updates only the value-list element from `source` if `ts` is newer
+  /// than that element; inserts the element if absent (paper III.F).
+  Status write_all(std::string_view key, NodeId source,
+                   std::string_view value, Timestamp ts);
+
+  [[nodiscard]] Result<VersionedValue> read_latest(std::string_view key);
+  [[nodiscard]] Result<std::vector<SourceValue>> read_all(
+      std::string_view key);
+
+  // ---- memcached-compatible surface -------------------------------------
+
+  /// Unconditional store; timestamp auto-assigned from the clock.
+  Status set(std::string_view key, std::string_view value,
+             std::uint32_t flags = 0, std::uint64_t ttl = 0);
+  /// Store only if the key does not exist.
+  Status add(std::string_view key, std::string_view value,
+             std::uint32_t flags = 0, std::uint64_t ttl = 0);
+  /// Store only if the key exists.
+  Status replace(std::string_view key, std::string_view value,
+                 std::uint32_t flags = 0, std::uint64_t ttl = 0);
+  /// Lookup; bumps LRU recency.
+  [[nodiscard]] Result<VersionedValue> get(std::string_view key);
+  /// Lookup returning the CAS token alongside the value.
+  [[nodiscard]] Result<std::pair<VersionedValue, std::uint64_t>> gets(
+      std::string_view key);
+  /// Concatenates after/before the existing value (memcached semantics:
+  /// fails with kNotFound when the key is absent).
+  Status append(std::string_view key, std::string_view suffix);
+  Status prepend(std::string_view key, std::string_view prefix);
+  /// Compare-and-store against a token from gets().
+  Status cas(std::string_view key, std::string_view value,
+             std::uint64_t cas_token);
+  /// Numeric increment/decrement on a decimal-string value (memcached
+  /// semantics: decrement saturates at 0; non-numeric => kInvalidArgument).
+  Result<std::uint64_t> incr(std::string_view key, std::uint64_t delta);
+  Result<std::uint64_t> decr(std::string_view key, std::uint64_t delta);
+  Status del(std::string_view key);
+  Status touch(std::string_view key, std::uint64_t ttl);
+
+  // ---- maintenance / integration ----------------------------------------
+
+  void set_track_changes(bool on);
+  void set_monitored_predicate(MonitoredPredicate pred);
+
+  /// Swaps out and returns the coalesced dirty table (all shards).
+  [[nodiscard]] std::vector<ChangeRecord> drain_changes();
+  [[nodiscard]] std::size_t pending_changes() const;
+
+  /// Proactively removes up to `max_items` expired items; returns count.
+  std::size_t expire_sweep(std::size_t max_items = SIZE_MAX);
+
+  [[nodiscard]] StoreStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t slab_charged_bytes() const;
+  void clear();
+
+  /// Snapshot iteration (persistence, recovery, vnode transfer). The
+  /// callback must not reenter the store. Items are visited shard by
+  /// shard under that shard's lock.
+  void for_each(const std::function<void(const Item&)>& fn) const;
+
+  /// Visits items whose key satisfies `pred` (e.g. "belongs to vnode V").
+  void for_each_matching(const std::function<bool(std::string_view)>& pred,
+                         const std::function<void(const Item&)>& fn) const;
+
+  /// Monotonically increasing timestamp for local-origin writes.
+  Timestamp next_timestamp();
+
+ private:
+  struct Shard;
+
+  Status set_impl(std::string_view key, std::string_view value,
+                  std::uint32_t flags, std::uint64_t ttl, int mode_raw);
+  Status concat_impl(std::string_view key, std::string_view piece,
+                     bool after);
+
+  [[nodiscard]] Shard& shard_for(std::string_view key);
+  [[nodiscard]] const Shard& shard_for(std::string_view key) const;
+  [[nodiscard]] std::uint64_t clock_now() const;
+
+  LocalStoreConfig config_;
+  ClockFn clock_;
+  std::size_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> ts_seq_{0};
+  std::atomic<Timestamp> last_ts_{0};
+};
+
+}  // namespace sedna::store

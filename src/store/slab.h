@@ -1,0 +1,68 @@
+// Slab size-class accounting, modeled on memcached's slab allocator.
+//
+// We do not replace the system allocator (items are std::string-backed);
+// what matters for reproducing memcached-like behaviour is the *accounting*:
+// items are charged to power-law size classes, per-class counters feed
+// stats and tests can verify that eviction keeps the total under budget
+// exactly the way memcached's slab rebalancing sees it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace sedna::store {
+
+class SlabAccounting {
+ public:
+  static constexpr std::size_t kMinChunk = 64;
+  static constexpr double kGrowthFactor = 1.25;
+  static constexpr std::size_t kNumClasses = 40;
+
+  SlabAccounting() {
+    double sz = kMinChunk;
+    for (auto& c : class_size_) {
+      c = static_cast<std::size_t>(sz);
+      sz *= kGrowthFactor;
+    }
+  }
+
+  /// Index of the smallest class whose chunk fits `nbytes`. Oversized
+  /// allocations land in the last class.
+  [[nodiscard]] std::size_t class_for(std::size_t nbytes) const {
+    for (std::size_t i = 0; i < kNumClasses; ++i) {
+      if (nbytes <= class_size_[i]) return i;
+    }
+    return kNumClasses - 1;
+  }
+
+  [[nodiscard]] std::size_t chunk_size(std::size_t cls) const {
+    return class_size_[cls];
+  }
+
+  void charge(std::size_t nbytes) {
+    const auto cls = class_for(nbytes);
+    ++used_chunks_[cls];
+    charged_bytes_ += class_size_[cls];
+  }
+
+  void release(std::size_t nbytes) {
+    const auto cls = class_for(nbytes);
+    if (used_chunks_[cls] > 0) --used_chunks_[cls];
+    if (charged_bytes_ >= class_size_[cls]) charged_bytes_ -= class_size_[cls];
+  }
+
+  [[nodiscard]] std::uint64_t used_chunks(std::size_t cls) const {
+    return used_chunks_[cls];
+  }
+  /// Bytes charged at chunk granularity (>= payload bytes; the difference
+  /// is the internal fragmentation real memcached pays).
+  [[nodiscard]] std::uint64_t charged_bytes() const { return charged_bytes_; }
+
+ private:
+  std::array<std::size_t, kNumClasses> class_size_{};
+  std::array<std::uint64_t, kNumClasses> used_chunks_{};
+  std::uint64_t charged_bytes_ = 0;
+};
+
+}  // namespace sedna::store

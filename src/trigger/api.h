@@ -1,0 +1,194 @@
+// Trigger programming model (paper Section IV, Listing 1).
+//
+// The user-facing vocabulary mirrors the paper's Java API:
+//
+//   class MyAction : public Action {
+//     void action(const std::string& key,
+//                 const std::vector<std::string>& values,
+//                 ResultWriter& out) override { ... }
+//   };
+//   class MyFilter : public Filter {
+//     bool assert_change(old_key, old_value, new_key, new_value) override;
+//   };
+//
+//   DataHooks hooks;                       // what to monitor: a pair,
+//   hooks.add("tweets");                   // a Table, or a whole Dataset
+//   TriggerInput input{hooks, filter};     // (Section IV.C hierarchy)
+//   TriggerOutput output;
+//   auto job = std::make_shared<Job>(cfg, input, output, action);
+//   runtime.schedule(job, timeout);        // Listing 1: job.schedule(T)
+//
+// Filters receive both the old and the new pair — "in lots of condition,
+// the filter need to compare the difference between before and after the
+// data updates", e.g. iterative-task stop conditions (Section IV.D).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/keypath.h"
+#include "common/types.h"
+
+namespace sedna::trigger {
+
+/// User filter: decides whether an observed change activates the action.
+/// Keep assert_change cheap — it runs for every swept change on every
+/// hooked key ("the assert function should be as simple as possible").
+class Filter {
+ public:
+  virtual ~Filter() = default;
+  virtual bool assert_change(const std::string& old_key,
+                             const std::string& old_value,
+                             const std::string& new_key,
+                             const std::string& new_value) = 0;
+};
+
+/// Accept-everything filter (the default when a job supplies none).
+class PassAllFilter final : public Filter {
+ public:
+  bool assert_change(const std::string&, const std::string&,
+                     const std::string&, const std::string&) override {
+    return true;
+  }
+};
+
+/// Filter from a lambda.
+class FunctionFilter final : public Filter {
+ public:
+  using Fn = std::function<bool(const std::string&, const std::string&,
+                                const std::string&, const std::string&)>;
+  explicit FunctionFilter(Fn fn) : fn_(std::move(fn)) {}
+  bool assert_change(const std::string& ok, const std::string& ov,
+                     const std::string& nk, const std::string& nv) override {
+    return fn_(ok, ov, nk, nv);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Output handle passed to actions: "Result provides a safe way for
+/// programmers to write processing results into distributed storage
+/// system paralleled" (Section IV.D). Writes issued here go through the
+/// full replicated data path and may in turn fire downstream triggers.
+class ResultWriter {
+ public:
+  virtual ~ResultWriter() = default;
+  /// Replicated write_latest of (key, value).
+  virtual void put(const std::string& key, const std::string& value) = 0;
+  /// Replicated write_all (per-source value list) of (key, value);
+  /// the source tag is this node's id.
+  virtual void put_all(const std::string& key, const std::string& value) = 0;
+  /// write_all with an explicit source tag. Lets actions accumulate
+  /// independent list elements per logical entity (e.g. one posting per
+  /// message id in an inverted index) instead of per physical node.
+  virtual void put_all_tagged(const std::string& key,
+                              const std::string& value,
+                              std::uint32_t source_tag) = 0;
+};
+
+/// User action: the paper's action(Key, Iterator<Value>, Result).
+/// `values` carries the key's current value(s): one element for
+/// write_latest data, the per-source list for write_all data.
+class Action {
+ public:
+  virtual ~Action() = default;
+  virtual void action(const std::string& key,
+                      const std::vector<std::string>& values,
+                      ResultWriter& out) = 0;
+};
+
+/// Action from a lambda.
+class FunctionAction final : public Action {
+ public:
+  using Fn = std::function<void(const std::string&,
+                                const std::vector<std::string>&,
+                                ResultWriter&)>;
+  explicit FunctionAction(Fn fn) : fn_(std::move(fn)) {}
+  void action(const std::string& key, const std::vector<std::string>& values,
+              ResultWriter& out) override {
+    fn_(key, values, out);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// The monitored scope: any mix of pairs ("ds/t/k"), tables ("ds/t") and
+/// datasets ("ds") — the extended hierarchical key space of Section IV.C.
+class DataHooks {
+ public:
+  DataHooks& add(std::string_view path) {
+    hooks_.push_back(KeyPath::parse(path));
+    return *this;
+  }
+
+  [[nodiscard]] bool matches(const KeyPath& changed) const {
+    for (const auto& hook : hooks_) {
+      if (hook.contains(changed)) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool matches(std::string_view flat_key) const {
+    return matches(KeyPath::parse(flat_key));
+  }
+
+  [[nodiscard]] const std::vector<KeyPath>& hooks() const { return hooks_; }
+  [[nodiscard]] bool empty() const { return hooks_.empty(); }
+
+ private:
+  std::vector<KeyPath> hooks_;
+};
+
+struct TriggerInput {
+  DataHooks hooks;
+  std::shared_ptr<Filter> filter;  // null => PassAllFilter
+};
+
+struct TriggerOutput {
+  /// Informational label ("distributed file system" path in Fig. 4);
+  /// actual writes name explicit keys through ResultWriter.
+  std::string label;
+};
+
+/// A scheduled trigger job. Flow control (Section IV.B): at most one
+/// activation per key per `trigger_interval`; changes arriving faster are
+/// coalesced, which is what suppresses the ripple effect of trigger
+/// cycles — "the filters will give every application default trigger
+/// interval. If value changes during this interval, it would be safe to
+/// discard them as the most fresh data matters most."
+class Job {
+ public:
+  struct Config {
+    std::string name;
+    /// Minimum spacing between activations of the same key.
+    SimDuration trigger_interval = sim_ms(100);
+  };
+
+  Job(Config config, TriggerInput input, TriggerOutput output,
+      std::shared_ptr<Action> action)
+      : config_(std::move(config)),
+        input_(std::move(input)),
+        output_(std::move(output)),
+        action_(std::move(action)) {
+    if (!input_.filter) input_.filter = std::make_shared<PassAllFilter>();
+  }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const TriggerInput& input() const { return input_; }
+  [[nodiscard]] const TriggerOutput& output() const { return output_; }
+  [[nodiscard]] Filter& filter() const { return *input_.filter; }
+  [[nodiscard]] Action& action() const { return *action_; }
+
+ private:
+  Config config_;
+  TriggerInput input_;
+  TriggerOutput output_;
+  std::shared_ptr<Action> action_;
+};
+
+}  // namespace sedna::trigger

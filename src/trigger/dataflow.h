@@ -1,0 +1,264 @@
+// Dataflow: a small declarative pipeline framework on top of triggers.
+//
+// The paper argues (Section IV.A, Fig. 4) that complex realtime jobs are
+// compositions of triggers — "the interaction among these three triggers"
+// forms the application — and that "it is easy to implement a programming
+// framework for different kinds of realtime applications based on Sedna"
+// (Section I). This header is that framework in miniature: stages declare
+// which tables they read and write; the builder wires each stage into a
+// Job hooked on its inputs, checks the read/write graph for the cycles
+// that cause the Fig. 4 ripple effect, and deploys everything through a
+// TriggerService.
+//
+//   dataflow::PipelineBuilder pipeline(triggers);
+//   pipeline.stage("parse")
+//       .reads("raw")
+//       .writes("parsed")
+//       .interval(sim_ms(50))
+//       .action([](const StageContext& ctx) {
+//         ctx.out().put("parsed/t/" + ctx.row(), transform(ctx.value()));
+//       });
+//   pipeline.stage("index").reads("parsed").writes("idx").action(...);
+//   auto deployed = pipeline.deploy();   // refuses cyclic graphs unless
+//                                        // allow_cycles() was called
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/keypath.h"
+#include "common/status.h"
+#include "trigger/service.h"
+
+namespace sedna::trigger::dataflow {
+
+/// What a stage action receives: the changed row and an output handle.
+class StageContext {
+ public:
+  StageContext(const std::string& key, const std::vector<std::string>& values,
+               ResultWriter& out)
+      : key_(key), values_(values), out_(out) {}
+
+  /// Full flat key of the changed pair ("dataset/table/row").
+  [[nodiscard]] const std::string& key() const { return key_; }
+  /// Just the row component.
+  [[nodiscard]] std::string row() const { return KeyPath::parse(key_).key(); }
+  /// Current value(s) of the pair (list for write_all data).
+  [[nodiscard]] const std::vector<std::string>& values() const {
+    return values_;
+  }
+  [[nodiscard]] std::string value() const {
+    return values_.empty() ? std::string{} : values_[0];
+  }
+  [[nodiscard]] ResultWriter& out() const { return out_; }
+
+ private:
+  const std::string& key_;
+  const std::vector<std::string>& values_;
+  ResultWriter& out_;
+};
+
+using StageFn = std::function<void(const StageContext&)>;
+using StageFilterFn =
+    std::function<bool(const std::string& old_value,
+                       const std::string& new_value)>;
+
+class PipelineBuilder;
+
+/// Fluent configuration of one pipeline stage.
+class StageBuilder {
+ public:
+  StageBuilder& reads(std::string dataset_or_table) {
+    reads_.push_back(std::move(dataset_or_table));
+    return *this;
+  }
+  StageBuilder& writes(std::string dataset_or_table) {
+    writes_.push_back(std::move(dataset_or_table));
+    return *this;
+  }
+  StageBuilder& interval(SimDuration trigger_interval) {
+    interval_ = trigger_interval;
+    return *this;
+  }
+  StageBuilder& action(StageFn fn) {
+    action_ = std::move(fn);
+    return *this;
+  }
+  /// Optional stop condition, old-vs-new (the Listing 1 Filter).
+  StageBuilder& until(StageFilterFn keep_running) {
+    filter_ = std::move(keep_running);
+    return *this;
+  }
+
+ private:
+  friend class PipelineBuilder;
+  explicit StageBuilder(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::vector<std::string> reads_;
+  std::vector<std::string> writes_;
+  SimDuration interval_ = sim_ms(100);
+  StageFn action_;
+  StageFilterFn filter_;
+};
+
+/// Handle to a deployed pipeline; cancels all its jobs on request.
+class Pipeline {
+ public:
+  Pipeline(TriggerService& service, std::vector<std::string> job_names)
+      : service_(service), job_names_(std::move(job_names)) {}
+
+  void cancel() {
+    for (const auto& name : job_names_) service_.cancel(name);
+    job_names_.clear();
+  }
+
+  [[nodiscard]] std::size_t stage_count() const { return job_names_.size(); }
+
+ private:
+  TriggerService& service_;
+  std::vector<std::string> job_names_;
+};
+
+class PipelineBuilder {
+ public:
+  explicit PipelineBuilder(TriggerService& service) : service_(service) {}
+
+  StageBuilder& stage(std::string name) {
+    stages_.push_back(StageBuilder(std::move(name)));
+    return stages_.back();
+  }
+
+  /// Opt in to cyclic graphs (iterative tasks). Cycles are then permitted
+  /// but every stage on a cycle must declare an `until` filter — an
+  /// unguarded cycle is exactly the Fig. 4 flood.
+  PipelineBuilder& allow_cycles() {
+    allow_cycles_ = true;
+    return *this;
+  }
+
+  /// True when some stage's writes feed (directly or transitively) back
+  /// into its own reads.
+  [[nodiscard]] bool has_cycle() const;
+
+  /// Validates the graph and schedules one Job per stage. Fails with
+  /// kInvalidArgument on: unnamed/duplicate stages, a stage without reads
+  /// or action, or a cycle without allow_cycles() + until-filters.
+  Result<Pipeline> deploy(SimDuration timeout = 0);
+
+ private:
+  [[nodiscard]] std::map<std::string, std::set<std::string>> edges() const;
+
+  TriggerService& service_;
+  std::deque<StageBuilder> stages_;  // deque: StageBuilder& stays valid as stages are added
+  bool allow_cycles_ = false;
+};
+
+inline std::map<std::string, std::set<std::string>> PipelineBuilder::edges()
+    const {
+  // Stage A → stage B when some write-path of A is read by B (prefix
+  // containment in either direction links them).
+  std::map<std::string, std::set<std::string>> graph;
+  for (const auto& a : stages_) {
+    for (const auto& b : stages_) {
+      bool linked = false;
+      for (const auto& w : a.writes_) {
+        for (const auto& r : b.reads_) {
+          const KeyPath wp = KeyPath::parse(w);
+          const KeyPath rp = KeyPath::parse(r);
+          if (wp.contains(rp) || rp.contains(wp)) linked = true;
+        }
+      }
+      if (linked) graph[a.name_].insert(b.name_);
+    }
+  }
+  return graph;
+}
+
+inline bool PipelineBuilder::has_cycle() const {
+  const auto graph = edges();
+  // Iterative DFS with colors.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::function<bool(const std::string&)> visit =
+      [&](const std::string& node) -> bool {
+    color[node] = 1;
+    const auto it = graph.find(node);
+    if (it != graph.end()) {
+      for (const auto& next : it->second) {
+        if (color[next] == 1) return true;
+        if (color[next] == 0 && visit(next)) return true;
+      }
+    }
+    color[node] = 2;
+    return false;
+  };
+  for (const auto& s : stages_) {
+    if (color[s.name_] == 0 && visit(s.name_)) return true;
+  }
+  return false;
+}
+
+inline Result<Pipeline> PipelineBuilder::deploy(SimDuration timeout) {
+  std::set<std::string> names;
+  for (const auto& s : stages_) {
+    if (s.name_.empty() || !names.insert(s.name_).second) {
+      return Status::InvalidArgument("unnamed or duplicate stage");
+    }
+    if (s.reads_.empty()) {
+      return Status::InvalidArgument("stage '" + s.name_ + "' reads nothing");
+    }
+    if (!s.action_) {
+      return Status::InvalidArgument("stage '" + s.name_ + "' has no action");
+    }
+  }
+  if (has_cycle()) {
+    if (!allow_cycles_) {
+      return Status::InvalidArgument(
+          "pipeline graph is cyclic (ripple risk); call allow_cycles() "
+          "and add until() stop conditions");
+    }
+    for (const auto& s : stages_) {
+      if (!s.filter_) {
+        return Status::InvalidArgument(
+            "cyclic pipeline requires an until() filter on every stage "
+            "(missing on '" + s.name_ + "')");
+      }
+    }
+  }
+
+  std::vector<std::string> job_names;
+  for (const auto& s : stages_) {
+    Job::Config jc;
+    jc.name = "dataflow/" + s.name_;
+    jc.trigger_interval = s.interval_;
+    DataHooks hooks;
+    for (const auto& r : s.reads_) hooks.add(r);
+    std::shared_ptr<Filter> filter;
+    if (s.filter_) {
+      filter = std::make_shared<FunctionFilter>(
+          [keep = s.filter_](const std::string&, const std::string& ov,
+                             const std::string&, const std::string& nv) {
+            return keep(ov, nv);
+          });
+    }
+    auto action = std::make_shared<FunctionAction>(
+        [fn = s.action_](const std::string& key,
+                         const std::vector<std::string>& values,
+                         ResultWriter& out) {
+          fn(StageContext(key, values, out));
+        });
+    service_.schedule(std::make_shared<Job>(
+                          jc, TriggerInput{hooks, std::move(filter)},
+                          TriggerOutput{}, std::move(action)),
+                      timeout);
+    job_names.push_back(jc.name);
+  }
+  return Pipeline(service_, std::move(job_names));
+}
+
+}  // namespace sedna::trigger::dataflow

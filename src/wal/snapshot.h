@@ -1,0 +1,30 @@
+// Snapshot: full-store image for the "periodically flush" persistency
+// strategy (paper Table I). Also the recovery base under WAL mode: recover
+// = load snapshot, then replay the log tail.
+//
+// Format: 8-byte magic, u32 version, then one WAL-style frame
+// (u32 len | u32 crc | payload) per item. A torn tail loses only the items
+// after the tear, mirroring a crash mid-flush; callers normally write to a
+// temp file and rename so readers only ever see complete snapshots.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "store/local_store.h"
+
+namespace sedna::wal {
+
+class Snapshot {
+ public:
+  /// Serializes every item of `store` to `path` (atomically: temp+rename).
+  static Status write(const std::string& path,
+                      const store::LocalStore& store);
+
+  /// Loads items into `store` (which should be empty); returns the number
+  /// of items restored.
+  static Result<std::uint64_t> load(const std::string& path,
+                                    store::LocalStore& store);
+};
+
+}  // namespace sedna::wal

@@ -1,0 +1,122 @@
+#include "wal/wal.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/crc32.h"
+
+namespace sedna::wal {
+
+std::string WalRecord::encode() const {
+  BinaryWriter w(key.size() + value.size() + 32);
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_string(key);
+  w.put_string(value);
+  w.put_u64(ts);
+  w.put_u32(flags);
+  w.put_u32(source);
+  return std::move(w).take();
+}
+
+Result<WalRecord> WalRecord::decode(std::string_view payload) {
+  BinaryReader r(payload);
+  WalRecord rec;
+  rec.type = static_cast<Type>(r.get_u8());
+  rec.key = r.get_string();
+  rec.value = r.get_string();
+  rec.ts = r.get_u64();
+  rec.flags = r.get_u32();
+  rec.source = r.get_u32();
+  if (r.failed() || !r.exhausted()) {
+    return Status::Corruption("bad wal record");
+  }
+  if (rec.type != Type::kWriteLatest && rec.type != Type::kWriteAll &&
+      rec.type != Type::kDelete) {
+    return Status::Corruption("unknown wal record type");
+  }
+  return rec;
+}
+
+Status WriteAheadLog::open() {
+  if (file_ != nullptr) return Status::Ok();
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open wal: " + path_);
+  }
+  return Status::Ok();
+}
+
+void WriteAheadLog::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WriteAheadLog::append(const WalRecord& record) {
+  if (file_ == nullptr) {
+    const Status st = open();
+    if (!st.ok()) return st;
+  }
+  const std::string payload = record.encode();
+  BinaryWriter frame(payload.size() + 8);
+  frame.put_u32(static_cast<std::uint32_t>(payload.size()));
+  frame.put_u32(crc32(payload));
+  frame.put_bytes_raw(payload);
+  const std::string& bytes = frame.data();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::IoError("wal append failed");
+  }
+  ++appended_;
+  bytes_ += bytes.size();
+  return Status::Ok();
+}
+
+Status WriteAheadLog::sync() {
+  if (file_ == nullptr) return Status::Ok();
+  if (std::fflush(file_) != 0) return Status::IoError("wal flush failed");
+  return Status::Ok();
+}
+
+Result<std::uint64_t> WriteAheadLog::replay(
+    const std::string& path,
+    const std::function<void(const WalRecord&)>& fn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::uint64_t{0};  // no log = nothing to recover
+
+  std::uint64_t recovered = 0;
+  for (;;) {
+    unsigned char header[8];
+    if (std::fread(header, 1, sizeof header, f) != sizeof header) break;
+    std::uint32_t len = 0;
+    std::uint32_t expected_crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+      expected_crc |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
+    }
+    // Cap record size defensively: a corrupt length must not OOM us.
+    if (len == 0 || len > (64u << 20)) break;
+    std::string payload(len, '\0');
+    if (std::fread(payload.data(), 1, len, f) != len) break;  // torn tail
+    if (crc32(payload) != expected_crc) break;                // corrupt
+    auto rec = WalRecord::decode(payload);
+    if (!rec.ok()) break;
+    fn(rec.value());
+    ++recovered;
+  }
+  std::fclose(f);
+  return recovered;
+}
+
+Status WriteAheadLog::reset() {
+  close();
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot truncate wal");
+  std::fclose(f);
+  appended_ = 0;
+  bytes_ = 0;
+  return open();
+}
+
+}  // namespace sedna::wal

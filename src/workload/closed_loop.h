@@ -1,0 +1,50 @@
+// ClosedLoopDriver: the paper's load-test client behaviour — one
+// outstanding operation per client; the next begins when the previous
+// acknowledges. "Time spend" for k operations is therefore k × per-op
+// latency, the linear curves of Figs. 7 and 8.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/simulation.h"
+
+namespace sedna::workload {
+
+class ClosedLoopDriver {
+ public:
+  /// issue(i, done): start operation i; invoke done() on completion.
+  using IssueFn =
+      std::function<void(std::uint64_t, const std::function<void()>&)>;
+
+  ClosedLoopDriver(std::uint64_t total_ops, IssueFn issue)
+      : total_(total_ops), issue_(std::move(issue)) {}
+
+  void start(std::function<void()> on_complete) {
+    on_complete_ = std::move(on_complete);
+    next();
+  }
+
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] bool done() const { return completed_ >= total_; }
+
+ private:
+  void next() {
+    if (completed_ >= total_) {
+      if (on_complete_) on_complete_();
+      return;
+    }
+    issue_(completed_, [this] {
+      ++completed_;
+      next();
+    });
+  }
+
+  std::uint64_t total_;
+  IssueFn issue_;
+  std::function<void()> on_complete_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace sedna::workload

@@ -1,0 +1,260 @@
+// Wire protocol of the ZooKeeper-lite service (message-type range 100–199).
+//
+// Clients talk to any ensemble member. Reads are answered from the
+// member's local tree (possibly slightly stale — ZooKeeper semantics);
+// writes and session operations are forwarded to the leader, sequenced
+// with a zxid, quorum-acknowledged and committed to every member.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "sim/message.h"
+#include "zk/znode_tree.h"
+
+namespace sedna::zk {
+
+// Client-facing.
+constexpr sim::MessageType kMsgClientRequest = 100;
+constexpr sim::MessageType kMsgWatchEvent = 101;   // server → client, one-way
+constexpr sim::MessageType kMsgSessionPing = 102;  // client → member, one-way
+
+// Ensemble-internal.
+constexpr sim::MessageType kMsgForward = 120;      // member → leader
+constexpr sim::MessageType kMsgPropose = 121;      // leader → members
+constexpr sim::MessageType kMsgCommit = 122;       // leader → members, one-way
+constexpr sim::MessageType kMsgPeerPing = 123;     // member ↔ member, one-way
+constexpr sim::MessageType kMsgTreeSync = 124;     // leader → member, one-way
+constexpr sim::MessageType kMsgTreeSyncReq = 125;  // member → leader, one-way
+
+struct ClientRequest {
+  enum class Op : std::uint8_t {
+    kConnect = 0,
+    kCreate,
+    kGet,
+    kSet,
+    kDelete,
+    kExists,
+    kChildren,
+    /// Internal: leader-originated session expiry (never sent by clients).
+    kExpireSession,
+    /// Internal: client-requested session close.
+    kCloseSession,
+  };
+
+  Op op = Op::kGet;
+  std::string path;
+  std::string data;
+  std::uint8_t mode = 0;  // CreateMode, for kCreate
+  std::int64_t expected_version = -1;
+  std::uint64_t session_id = 0;
+  std::uint64_t session_timeout_us = 0;  // kConnect
+  bool watch = false;                    // kGet / kExists / kChildren
+  std::uint64_t watch_id = 0;
+
+  [[nodiscard]] bool is_write() const {
+    switch (op) {
+      case Op::kConnect:
+      case Op::kCreate:
+      case Op::kSet:
+      case Op::kDelete:
+      case Op::kExpireSession:
+      case Op::kCloseSession:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(path.size() + data.size() + 48);
+    w.put_u8(static_cast<std::uint8_t>(op));
+    w.put_string(path);
+    w.put_string(data);
+    w.put_u8(mode);
+    w.put_i64(expected_version);
+    w.put_u64(session_id);
+    w.put_u64(session_timeout_us);
+    w.put_bool(watch);
+    w.put_u64(watch_id);
+    return std::move(w).take();
+  }
+
+  static Result<ClientRequest> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    ClientRequest req;
+    req.op = static_cast<Op>(r.get_u8());
+    req.path = r.get_string();
+    req.data = r.get_string();
+    req.mode = r.get_u8();
+    req.expected_version = r.get_i64();
+    req.session_id = r.get_u64();
+    req.session_timeout_us = r.get_u64();
+    req.watch = r.get_bool();
+    req.watch_id = r.get_u64();
+    if (r.failed()) return Status::Corruption("bad zk request");
+    return req;
+  }
+};
+
+inline void encode_stat(BinaryWriter& w, const ZnodeStat& s) {
+  w.put_u64(s.czxid);
+  w.put_u64(s.mzxid);
+  w.put_i64(s.version);
+  w.put_u64(s.ephemeral_owner);
+  w.put_u32(s.num_children);
+}
+
+inline ZnodeStat decode_stat(BinaryReader& r) {
+  ZnodeStat s;
+  s.czxid = r.get_u64();
+  s.mzxid = r.get_u64();
+  s.version = r.get_i64();
+  s.ephemeral_owner = r.get_u64();
+  s.num_children = r.get_u32();
+  return s;
+}
+
+struct ClientReply {
+  StatusCode status = StatusCode::kOk;
+  /// kCreate: actual path (with sequence suffix). kGet: data.
+  std::string payload;
+  ZnodeStat stat;
+  std::vector<std::string> children;
+  std::uint64_t session_id = 0;  // kConnect
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(payload.size() + 64);
+    w.put_u8(static_cast<std::uint8_t>(status));
+    w.put_string(payload);
+    encode_stat(w, stat);
+    w.put_vector(children, [](BinaryWriter& out, const std::string& c) {
+      out.put_string(c);
+    });
+    w.put_u64(session_id);
+    return std::move(w).take();
+  }
+
+  static Result<ClientReply> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    ClientReply rep;
+    rep.status = static_cast<StatusCode>(r.get_u8());
+    rep.payload = r.get_string();
+    rep.stat = decode_stat(r);
+    rep.children = r.get_vector<std::string>(
+        [](BinaryReader& in) { return in.get_string(); });
+    rep.session_id = r.get_u64();
+    if (r.failed()) return Status::Corruption("bad zk reply");
+    return rep;
+  }
+};
+
+enum class WatchEventType : std::uint8_t {
+  kDataChanged = 0,
+  kCreated = 1,
+  kDeleted = 2,
+  kChildrenChanged = 3,
+};
+
+struct WatchEventMsg {
+  std::uint64_t watch_id = 0;
+  std::string path;
+  WatchEventType type = WatchEventType::kDataChanged;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(path.size() + 16);
+    w.put_u64(watch_id);
+    w.put_string(path);
+    w.put_u8(static_cast<std::uint8_t>(type));
+    return std::move(w).take();
+  }
+
+  static Result<WatchEventMsg> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    WatchEventMsg ev;
+    ev.watch_id = r.get_u64();
+    ev.path = r.get_string();
+    ev.type = static_cast<WatchEventType>(r.get_u8());
+    if (r.failed()) return Status::Corruption("bad watch event");
+    return ev;
+  }
+};
+
+/// Leader → members: a sequenced write awaiting quorum.
+struct Proposal {
+  std::uint64_t zxid = 0;
+  ClientRequest op;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w;
+    w.put_u64(zxid);
+    w.put_string(op.encode());
+    return std::move(w).take();
+  }
+
+  static Result<Proposal> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    Proposal p;
+    p.zxid = r.get_u64();
+    auto op = ClientRequest::decode(r.get_string());
+    if (r.failed() || !op.ok()) return Status::Corruption("bad proposal");
+    p.op = std::move(op).value();
+    return p;
+  }
+};
+
+/// Full-state transfer image: tree + replicated session table.
+struct TreeSyncMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t last_zxid = 0;
+  std::uint64_t next_session_id = 1;
+  std::string tree_image;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sessions;  // id, timeout
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(tree_image.size() + 64);
+    w.put_u64(epoch);
+    w.put_u64(last_zxid);
+    w.put_u64(next_session_id);
+    w.put_string(tree_image);
+    w.put_u32(static_cast<std::uint32_t>(sessions.size()));
+    for (const auto& [id, timeout] : sessions) {
+      w.put_u64(id);
+      w.put_u64(timeout);
+    }
+    return std::move(w).take();
+  }
+
+  static Result<TreeSyncMsg> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    TreeSyncMsg m;
+    m.epoch = r.get_u64();
+    m.last_zxid = r.get_u64();
+    m.next_session_id = r.get_u64();
+    m.tree_image = r.get_string();
+    const std::uint32_t n = r.get_u32();
+    for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+      const std::uint64_t id = r.get_u64();
+      const std::uint64_t timeout = r.get_u64();
+      m.sessions.emplace_back(id, timeout);
+    }
+    if (r.failed()) return Status::Corruption("bad tree sync");
+    return m;
+  }
+};
+
+[[nodiscard]] constexpr std::uint64_t make_zxid(std::uint64_t epoch,
+                                                std::uint64_t counter) {
+  return (epoch << 32) | counter;
+}
+[[nodiscard]] constexpr std::uint64_t zxid_epoch(std::uint64_t zxid) {
+  return zxid >> 32;
+}
+[[nodiscard]] constexpr std::uint64_t zxid_counter(std::uint64_t zxid) {
+  return zxid & 0xffffffffULL;
+}
+
+}  // namespace sedna::zk

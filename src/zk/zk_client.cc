@@ -1,0 +1,305 @@
+#include "zk/zk_client.h"
+
+#include <algorithm>
+
+namespace sedna::zk {
+
+void ZkClient::submit(ClientRequest req, int attempt,
+                      std::function<void(const Result<ClientReply>&)> done) {
+  if (config_.ensemble.empty()) {
+    done(Status::Unavailable("no ensemble members"));
+    return;
+  }
+  const NodeId member =
+      config_.ensemble[member_cursor_ % config_.ensemble.size()];
+  ++requests_;
+  host_.call(
+      member, kMsgClientRequest, req.encode(),
+      [this, req, attempt, done = std::move(done)](
+          const Status& st, const std::string& payload) mutable {
+        if (st.ok()) {
+          auto rep = ClientReply::decode(payload);
+          if (rep.ok() && rep->status != StatusCode::kUnavailable &&
+              rep->status != StatusCode::kRefused) {
+            done(std::move(rep));
+            return;
+          }
+        }
+        // Timeout, decode failure, or member-side unavailability: rotate
+        // to the next member and retry.
+        ++member_cursor_;
+        if (attempt + 1 >= config_.max_retries) {
+          done(Status::Unavailable("zk retries exhausted"));
+          return;
+        }
+        submit(std::move(req), attempt + 1, std::move(done));
+      });
+}
+
+void ZkClient::connect(ConnectCallback cb) {
+  ClientRequest req;
+  req.op = ClientRequest::Op::kConnect;
+  req.session_timeout_us = config_.session_timeout;
+  submit(std::move(req), 0,
+         [this, cb = std::move(cb)](const Result<ClientReply>& rep) {
+           if (!rep.ok()) {
+             cb(rep.status());
+             return;
+           }
+           if (rep->status != StatusCode::kOk) {
+             cb(Status(rep->status));
+             return;
+           }
+           session_id_ = rep->session_id;
+           start_pings();
+           cb(Status::Ok());
+         });
+}
+
+void ZkClient::start_pings() {
+  ping_timer_.cancel();
+  ping_timer_ = host_.sim().schedule_periodic(
+      config_.ping_interval, [this] {
+        if (session_id_ == 0 || !host_.alive()) return;
+        BinaryWriter w;
+        w.put_u64(session_id_);
+        const NodeId member =
+            config_.ensemble[member_cursor_ % config_.ensemble.size()];
+        // Heartbeats are acknowledged so the client notices a dead member
+        // and fails over before its own session lapses.
+        host_.call(member, kMsgSessionPing, std::move(w).take(),
+                   [this](const Status& st, const std::string&) {
+                     if (!st.ok()) ++member_cursor_;
+                   });
+      });
+}
+
+void ZkClient::create(const std::string& path, const std::string& data,
+                      CreateMode mode, CreateCallback cb) {
+  ClientRequest req;
+  req.op = ClientRequest::Op::kCreate;
+  req.path = path;
+  req.data = data;
+  req.mode = static_cast<std::uint8_t>(mode);
+  req.session_id = session_id_;
+  submit(std::move(req), 0,
+         [cb = std::move(cb)](const Result<ClientReply>& rep) {
+           if (!rep.ok()) {
+             cb(rep.status());
+             return;
+           }
+           if (rep->status != StatusCode::kOk) {
+             cb(Status(rep->status));
+             return;
+           }
+           cb(rep->payload);
+         });
+}
+
+void ZkClient::get(const std::string& path, GetCallback cb) {
+  ClientRequest req;
+  req.op = ClientRequest::Op::kGet;
+  req.path = path;
+  req.session_id = session_id_;
+  submit(std::move(req), 0,
+         [this, path, cb = std::move(cb)](const Result<ClientReply>& rep) {
+           if (!rep.ok()) {
+             cb(rep.status());
+             return;
+           }
+           if (rep->status != StatusCode::kOk) {
+             cb(Status(rep->status));
+             return;
+           }
+           cache_[path] = CacheEntry{rep->payload, rep->stat,
+                                     host_.sim().now()};
+           cb(std::make_pair(rep->payload, rep->stat));
+         });
+}
+
+void ZkClient::set(const std::string& path, const std::string& data,
+                   std::int64_t expected_version, SetCallback cb) {
+  ClientRequest req;
+  req.op = ClientRequest::Op::kSet;
+  req.path = path;
+  req.data = data;
+  req.expected_version = expected_version;
+  req.session_id = session_id_;
+  submit(std::move(req), 0,
+         [this, path, cb = std::move(cb)](const Result<ClientReply>& rep) {
+           cache_.erase(path);  // our own write invalidates the cache
+           if (!rep.ok()) {
+             cb(rep.status());
+             return;
+           }
+           if (rep->status != StatusCode::kOk) {
+             cb(Status(rep->status));
+             return;
+           }
+           cb(rep->stat);
+         });
+}
+
+void ZkClient::remove(const std::string& path, std::int64_t expected_version,
+                      StatusCallback cb) {
+  ClientRequest req;
+  req.op = ClientRequest::Op::kDelete;
+  req.path = path;
+  req.expected_version = expected_version;
+  req.session_id = session_id_;
+  submit(std::move(req), 0,
+         [this, path, cb = std::move(cb)](const Result<ClientReply>& rep) {
+           cache_.erase(path);
+           if (!rep.ok()) {
+             cb(rep.status());
+             return;
+           }
+           cb(Status(rep->status));
+         });
+}
+
+void ZkClient::exists(const std::string& path, SetCallback cb) {
+  ClientRequest req;
+  req.op = ClientRequest::Op::kExists;
+  req.path = path;
+  req.session_id = session_id_;
+  submit(std::move(req), 0,
+         [cb = std::move(cb)](const Result<ClientReply>& rep) {
+           if (!rep.ok()) {
+             cb(rep.status());
+             return;
+           }
+           if (rep->status != StatusCode::kOk) {
+             cb(Status(rep->status));
+             return;
+           }
+           cb(rep->stat);
+         });
+}
+
+void ZkClient::children(const std::string& path, ChildrenCallback cb) {
+  ClientRequest req;
+  req.op = ClientRequest::Op::kChildren;
+  req.path = path;
+  req.session_id = session_id_;
+  submit(std::move(req), 0,
+         [cb = std::move(cb)](const Result<ClientReply>& rep) {
+           if (!rep.ok()) {
+             cb(rep.status());
+             return;
+           }
+           if (rep->status != StatusCode::kOk) {
+             cb(Status(rep->status));
+             return;
+           }
+           cb(rep->children);
+         });
+}
+
+void ZkClient::get_and_watch(const std::string& path, GetCallback cb,
+                             WatchCallback on_event) {
+  const std::uint64_t wid = next_watch_id_++;
+  watch_callbacks_[wid] = std::move(on_event);
+  ClientRequest req;
+  req.op = ClientRequest::Op::kGet;
+  req.path = path;
+  req.session_id = session_id_;
+  req.watch = true;
+  req.watch_id = wid;
+  submit(std::move(req), 0,
+         [cb = std::move(cb)](const Result<ClientReply>& rep) {
+           if (!rep.ok()) {
+             cb(rep.status());
+             return;
+           }
+           if (rep->status != StatusCode::kOk) {
+             cb(Status(rep->status));
+             return;
+           }
+           cb(std::make_pair(rep->payload, rep->stat));
+         });
+}
+
+void ZkClient::exists_and_watch(const std::string& path, SetCallback cb,
+                                WatchCallback on_event) {
+  const std::uint64_t wid = next_watch_id_++;
+  watch_callbacks_[wid] = std::move(on_event);
+  ClientRequest req;
+  req.op = ClientRequest::Op::kExists;
+  req.path = path;
+  req.session_id = session_id_;
+  req.watch = true;
+  req.watch_id = wid;
+  submit(std::move(req), 0,
+         [cb = std::move(cb)](const Result<ClientReply>& rep) {
+           if (!rep.ok()) {
+             cb(rep.status());
+             return;
+           }
+           if (rep->status != StatusCode::kOk) {
+             cb(Status(rep->status));
+             return;
+           }
+           cb(rep->stat);
+         });
+}
+
+void ZkClient::children_and_watch(const std::string& path,
+                                  ChildrenCallback cb,
+                                  WatchCallback on_event) {
+  const std::uint64_t wid = next_watch_id_++;
+  watch_callbacks_[wid] = std::move(on_event);
+  ClientRequest req;
+  req.op = ClientRequest::Op::kChildren;
+  req.path = path;
+  req.session_id = session_id_;
+  req.watch = true;
+  req.watch_id = wid;
+  submit(std::move(req), 0,
+         [cb = std::move(cb)](const Result<ClientReply>& rep) {
+           if (!rep.ok()) {
+             cb(rep.status());
+             return;
+           }
+           if (rep->status != StatusCode::kOk) {
+             cb(Status(rep->status));
+             return;
+           }
+           cb(rep->children);
+         });
+}
+
+void ZkClient::cached_get(const std::string& path, GetCallback cb) {
+  const auto it = cache_.find(path);
+  if (it != cache_.end() &&
+      host_.sim().now() - it->second.fetched_at <= lease_) {
+    ++cache_hits_;
+    cb(std::make_pair(it->second.data, it->second.stat));
+    return;
+  }
+  ++cache_misses_;
+  get(path, std::move(cb));
+}
+
+void ZkClient::note_sync_changes(std::size_t changed) {
+  // Paper III.E: "lease time will reduce to half if there are lots of
+  // changes in ZooKeeper in last lease time, and grow to double if no
+  // change in last lease time."
+  if (changed >= config_.busy_threshold) {
+    lease_ = std::max(config_.lease_min, lease_ / 2);
+  } else if (changed == 0) {
+    lease_ = std::min(config_.lease_max, lease_ * 2);
+  }
+}
+
+void ZkClient::on_watch_event(const std::string& payload) {
+  auto ev = WatchEventMsg::decode(payload);
+  if (!ev.ok()) return;
+  const auto it = watch_callbacks_.find(ev->watch_id);
+  if (it == watch_callbacks_.end()) return;
+  WatchCallback cb = std::move(it->second);
+  watch_callbacks_.erase(it);  // one-shot, like ZooKeeper
+  cb(ev.value());
+}
+
+}  // namespace sedna::zk

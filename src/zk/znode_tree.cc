@@ -1,0 +1,270 @@
+#include "zk/znode_tree.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/codec.h"
+
+namespace sedna::zk {
+
+ZnodeTree::ZnodeTree() : root_(std::make_unique<Znode>()) {}
+
+bool ZnodeTree::split(std::string_view path, std::string_view& parent,
+                      std::string_view& leaf) {
+  if (path.size() < 2 || path.front() != '/' || path.back() == '/') {
+    return false;
+  }
+  const auto pos = path.rfind('/');
+  parent = pos == 0 ? std::string_view{"/"} : path.substr(0, pos);
+  leaf = path.substr(pos + 1);
+  return !leaf.empty();
+}
+
+ZnodeTree::Znode* ZnodeTree::walk(std::string_view path) {
+  return const_cast<Znode*>(
+      static_cast<const ZnodeTree*>(this)->walk(path));
+}
+
+const ZnodeTree::Znode* ZnodeTree::walk(std::string_view path) const {
+  if (path.empty() || path.front() != '/') return nullptr;
+  const Znode* node = root_.get();
+  std::size_t pos = 1;
+  while (pos < path.size()) {
+    auto next = path.find('/', pos);
+    if (next == std::string_view::npos) next = path.size();
+    const std::string_view component = path.substr(pos, next - pos);
+    if (component.empty()) return nullptr;
+    const auto it = node->children.find(std::string(component));
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+    pos = next + 1;
+  }
+  return node;
+}
+
+Result<std::string> ZnodeTree::create(std::string_view path,
+                                      std::string_view data, CreateMode mode,
+                                      std::uint64_t session_id,
+                                      std::uint64_t zxid) {
+  std::string_view parent_path, leaf;
+  if (!split(path, parent_path, leaf)) {
+    return Status::InvalidArgument("bad znode path");
+  }
+  Znode* parent = walk(parent_path);
+  if (parent == nullptr) return Status::NotFound("parent missing");
+  if (parent->stat.ephemeral_owner != 0) {
+    return Status::InvalidArgument("ephemeral znodes cannot have children");
+  }
+
+  std::string name(leaf);
+  if (is_sequential(mode)) {
+    char suffix[16];
+    std::snprintf(suffix, sizeof suffix, "%010" PRIu64,
+                  parent->next_sequence++);
+    name += suffix;
+  }
+  if (parent->children.contains(name)) {
+    return Status::AlreadyExists(std::string(path));
+  }
+
+  auto node = std::make_unique<Znode>();
+  node->data.assign(data);
+  node->stat.czxid = zxid;
+  node->stat.mzxid = zxid;
+  node->stat.ephemeral_owner = is_ephemeral(mode) ? session_id : 0;
+  parent->children.emplace(name, std::move(node));
+  parent->stat.num_children = static_cast<std::uint32_t>(
+      parent->children.size());
+
+  std::string actual(parent_path == "/" ? "" : std::string(parent_path));
+  actual += '/';
+  actual += name;
+  return actual;
+}
+
+Result<std::pair<std::string, ZnodeStat>> ZnodeTree::get(
+    std::string_view path) const {
+  const Znode* node = walk(path);
+  if (node == nullptr) return Status::NotFound(std::string(path));
+  return std::make_pair(node->data, node->stat);
+}
+
+Result<ZnodeStat> ZnodeTree::set(std::string_view path, std::string_view data,
+                                 std::int64_t expected_version,
+                                 std::uint64_t zxid) {
+  Znode* node = walk(path);
+  if (node == nullptr) return Status::NotFound(std::string(path));
+  if (expected_version >= 0 && node->stat.version != expected_version) {
+    return Status::Failure("version mismatch");
+  }
+  node->data.assign(data);
+  ++node->stat.version;
+  node->stat.mzxid = zxid;
+  return node->stat;
+}
+
+Status ZnodeTree::remove(std::string_view path,
+                         std::int64_t expected_version) {
+  std::string_view parent_path, leaf;
+  if (!split(path, parent_path, leaf)) {
+    return Status::InvalidArgument("bad znode path");
+  }
+  Znode* parent = walk(parent_path);
+  if (parent == nullptr) return Status::NotFound(std::string(path));
+  const auto it = parent->children.find(std::string(leaf));
+  if (it == parent->children.end()) {
+    return Status::NotFound(std::string(path));
+  }
+  if (expected_version >= 0 &&
+      it->second->stat.version != expected_version) {
+    return Status::Failure("version mismatch");
+  }
+  if (!it->second->children.empty()) {
+    return Status::InvalidArgument("znode has children");
+  }
+  parent->children.erase(it);
+  parent->stat.num_children =
+      static_cast<std::uint32_t>(parent->children.size());
+  return Status::Ok();
+}
+
+Result<ZnodeStat> ZnodeTree::exists(std::string_view path) const {
+  const Znode* node = walk(path);
+  if (node == nullptr) return Status::NotFound(std::string(path));
+  return node->stat;
+}
+
+Result<std::vector<std::string>> ZnodeTree::children(
+    std::string_view path) const {
+  const Znode* node = walk(path);
+  if (node == nullptr) return Status::NotFound(std::string(path));
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) names.push_back(name);
+  return names;  // std::map keeps them sorted
+}
+
+std::vector<std::string> ZnodeTree::remove_session_ephemerals(
+    std::uint64_t session_id) {
+  std::vector<std::string> removed;
+  // Two passes: collect paths (deepest first is unnecessary — ephemerals
+  // are leaves by construction), then delete.
+  std::vector<std::string> to_delete;
+  for_each([&](const std::string& path, const std::string&,
+               const ZnodeStat& stat) {
+    if (stat.ephemeral_owner == session_id) to_delete.push_back(path);
+  });
+  for (const auto& path : to_delete) {
+    if (remove(path, -1).ok()) removed.push_back(path);
+  }
+  return removed;
+}
+
+void ZnodeTree::for_each(
+    const std::function<void(const std::string&, const std::string&,
+                             const ZnodeStat&)>& fn) const {
+  // Iterative DFS over (path, node).
+  std::vector<std::pair<std::string, const Znode*>> stack;
+  stack.emplace_back("", root_.get());
+  while (!stack.empty()) {
+    auto [path, node] = stack.back();
+    stack.pop_back();
+    if (!path.empty()) fn(path, node->data, node->stat);
+    for (const auto& [name, child] : node->children) {
+      stack.emplace_back(path + "/" + name, child.get());
+    }
+  }
+}
+
+std::string ZnodeTree::serialize() const {
+  BinaryWriter w;
+  // Count first.
+  std::uint32_t count = 0;
+  for_each([&](const std::string&, const std::string&, const ZnodeStat&) {
+    ++count;
+  });
+  w.put_u32(count);
+  // Parents sort before children lexicographically? Not in general
+  // ("/a-x" < "/a/x" is false since '-' < '/'), so emit in DFS order,
+  // which guarantees parent-before-child.
+  std::vector<std::tuple<std::string, std::string, ZnodeStat>> nodes;
+  for_each([&](const std::string& path, const std::string& data,
+               const ZnodeStat& stat) {
+    nodes.emplace_back(path, data, stat);
+  });
+  // for_each is DFS with a LIFO stack: parents are visited before their
+  // children, so `nodes` is already parent-first.
+  for (const auto& [path, data, stat] : nodes) {
+    w.put_string(path);
+    w.put_string(data);
+    w.put_u64(stat.czxid);
+    w.put_u64(stat.mzxid);
+    w.put_i64(stat.version);
+    w.put_u64(stat.ephemeral_owner);
+  }
+  // Sequence counters must transfer too, or a new leader would reissue
+  // sequential names. Emit (path, next_sequence) pairs including root.
+  std::vector<std::pair<std::string, const Znode*>> stack;
+  stack.emplace_back("", root_.get());
+  std::vector<std::pair<std::string, std::uint64_t>> seqs;
+  while (!stack.empty()) {
+    auto [path, node] = stack.back();
+    stack.pop_back();
+    if (node->next_sequence != 0) seqs.emplace_back(path, node->next_sequence);
+    for (const auto& [name, child] : node->children) {
+      stack.emplace_back(path + "/" + name, child.get());
+    }
+  }
+  w.put_u32(static_cast<std::uint32_t>(seqs.size()));
+  for (const auto& [path, seq] : seqs) {
+    w.put_string(path);
+    w.put_u64(seq);
+  }
+  return std::move(w).take();
+}
+
+Result<ZnodeTree> ZnodeTree::deserialize(std::string_view bytes) {
+  BinaryReader r(bytes);
+  ZnodeTree tree;
+  const std::uint32_t count = r.get_u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string path = r.get_string();
+    const std::string data = r.get_string();
+    ZnodeStat stat;
+    stat.czxid = r.get_u64();
+    stat.mzxid = r.get_u64();
+    stat.version = r.get_i64();
+    stat.ephemeral_owner = r.get_u64();
+    if (r.failed()) return Status::Corruption("bad tree image");
+    const CreateMode mode = stat.ephemeral_owner != 0
+                                ? CreateMode::kEphemeral
+                                : CreateMode::kPersistent;
+    auto created = tree.create(path, data, mode, stat.ephemeral_owner,
+                               stat.czxid);
+    if (!created.ok()) return Status::Corruption("bad tree order");
+    // Restore the full stat (version history) directly.
+    Znode* node = tree.walk(path);
+    node->stat = stat;
+  }
+  const std::uint32_t nseq = r.get_u32();
+  for (std::uint32_t i = 0; i < nseq; ++i) {
+    const std::string path = r.get_string();
+    const std::uint64_t seq = r.get_u64();
+    if (r.failed()) return Status::Corruption("bad tree image");
+    Znode* node = path.empty() ? tree.root_.get() : tree.walk(path);
+    if (node != nullptr) node->next_sequence = seq;
+  }
+  if (r.failed()) return Status::Corruption("bad tree image");
+  return tree;
+}
+
+std::size_t ZnodeTree::node_count() const {
+  std::size_t n = 0;
+  for_each([&](const std::string&, const std::string&, const ZnodeStat&) {
+    ++n;
+  });
+  return n;
+}
+
+}  // namespace sedna::zk

@@ -1,0 +1,201 @@
+// Tests for the dataflow pipeline framework: graph validation, cycle
+// detection, end-to-end multi-stage flows, and guarded iterative cycles.
+#include <gtest/gtest.h>
+
+#include "cluster/sedna_cluster.h"
+#include "trigger/dataflow.h"
+
+namespace sedna::trigger::dataflow {
+namespace {
+
+using cluster::SednaCluster;
+using cluster::SednaClusterConfig;
+
+SednaClusterConfig small_config() {
+  SednaClusterConfig cfg;
+  cfg.zk_members = 3;
+  cfg.data_nodes = 6;
+  cfg.cluster.total_vnodes = 128;
+  return cfg;
+}
+
+StageFn noop() {
+  return [](const StageContext&) {};
+}
+
+TEST(Validation, RejectsDuplicateStageNames) {
+  SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  PipelineBuilder b(triggers);
+  b.stage("dup").reads("a").action(noop());
+  b.stage("dup").reads("b").action(noop());
+  EXPECT_FALSE(b.deploy().ok());
+}
+
+TEST(Validation, RejectsStageWithoutReadsOrAction) {
+  SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  {
+    PipelineBuilder b(triggers);
+    b.stage("no-reads").action(noop());
+    EXPECT_FALSE(b.deploy().ok());
+  }
+  {
+    PipelineBuilder b(triggers);
+    b.stage("no-action").reads("a");
+    EXPECT_FALSE(b.deploy().ok());
+  }
+}
+
+TEST(Cycles, LinearChainHasNoCycle) {
+  SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  PipelineBuilder b(triggers);
+  b.stage("s1").reads("a").writes("b").action(noop());
+  b.stage("s2").reads("b").writes("c").action(noop());
+  b.stage("s3").reads("c").writes("d").action(noop());
+  EXPECT_FALSE(b.has_cycle());
+  EXPECT_TRUE(b.deploy().ok());
+}
+
+TEST(Cycles, DirectCycleDetected) {
+  SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  PipelineBuilder b(triggers);
+  b.stage("a").reads("ping").writes("pong").action(noop());
+  b.stage("b").reads("pong").writes("ping").action(noop());
+  EXPECT_TRUE(b.has_cycle());
+  const auto deployed = b.deploy();
+  EXPECT_FALSE(deployed.ok());
+  EXPECT_EQ(deployed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Cycles, SelfLoopDetected) {
+  SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  PipelineBuilder b(triggers);
+  b.stage("self").reads("state").writes("state").action(noop());
+  EXPECT_TRUE(b.has_cycle());
+}
+
+TEST(Cycles, TableInsideDatasetLinks) {
+  // Writing a table inside a dataset another stage reads counts as an
+  // edge (hierarchy containment).
+  SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  PipelineBuilder b(triggers);
+  b.stage("w").reads("in").writes("ds/t").action(noop());
+  b.stage("r").reads("ds").writes("in").action(noop());  // whole dataset
+  EXPECT_TRUE(b.has_cycle());
+}
+
+TEST(Cycles, AllowedCycleRequiresUntilOnEveryStage) {
+  SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  PipelineBuilder b(triggers);
+  b.allow_cycles();
+  b.stage("a").reads("x").writes("y").action(noop()).until(
+      [](const std::string&, const std::string&) { return true; });
+  b.stage("b").reads("y").writes("x").action(noop());  // no until()
+  EXPECT_FALSE(b.deploy().ok());
+}
+
+TEST(EndToEnd, TwoStagePipelineTransforms) {
+  SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  PipelineBuilder b(triggers);
+  b.stage("upper")
+      .reads("raw")
+      .writes("upped")
+      .interval(sim_ms(20))
+      .action([](const StageContext& ctx) {
+        std::string v = ctx.value();
+        for (char& c : v) c = static_cast<char>(toupper(c));
+        ctx.out().put("upped/t/" + ctx.row(), v);
+      });
+  b.stage("bang")
+      .reads("upped")
+      .writes("final")
+      .interval(sim_ms(20))
+      .action([](const StageContext& ctx) {
+        ctx.out().put("final/t/" + ctx.row(), ctx.value() + "!");
+      });
+  auto deployed = b.deploy();
+  ASSERT_TRUE(deployed.ok()) << deployed.status().to_string();
+  EXPECT_EQ(deployed->stage_count(), 2u);
+
+  auto& client = cluster.make_client();
+  ASSERT_TRUE(cluster.write_latest(client, "raw/t/greeting", "hello").ok());
+  cluster.run_for(sim_sec(1));
+
+  auto out = cluster.read_latest(client, "final/t/greeting");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->value, "HELLO!");
+}
+
+TEST(EndToEnd, GuardedCycleConverges) {
+  // An iterative doubling task: state cycles through one stage until the
+  // value reaches a bound; the until() filter is the stop condition.
+  SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  PipelineBuilder b(triggers);
+  b.allow_cycles();
+  b.stage("doubler")
+      .reads("iter")
+      .writes("iter")
+      .interval(sim_ms(20))
+      .until([](const std::string&, const std::string& new_value) {
+        return std::stoll(new_value) < 1000;  // keep running below 1000
+      })
+      .action([](const StageContext& ctx) {
+        const long long v = std::stoll(ctx.value());
+        ctx.out().put(ctx.key(), std::to_string(v * 2));
+      });
+  auto deployed = b.deploy();
+  ASSERT_TRUE(deployed.ok()) << deployed.status().to_string();
+
+  auto& client = cluster.make_client();
+  ASSERT_TRUE(cluster.write_latest(client, "iter/t/x", "1").ok());
+  cluster.run_for(sim_sec(3));
+
+  auto out = cluster.read_latest(client, "iter/t/x");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->value, "1024");  // doubled past the bound exactly once
+  // And it stays there: the loop stopped.
+  cluster.run_for(sim_sec(1));
+  EXPECT_EQ(cluster.read_latest(client, "iter/t/x")->value, "1024");
+}
+
+TEST(EndToEnd, CancelStopsAllStages) {
+  SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  PipelineBuilder b(triggers);
+  auto hits = std::make_shared<int>(0);
+  b.stage("only").reads("src").writes("dst").interval(sim_ms(20)).action(
+      [hits](const StageContext&) { ++*hits; });
+  auto deployed = b.deploy();
+  ASSERT_TRUE(deployed.ok());
+
+  auto& client = cluster.make_client();
+  ASSERT_TRUE(cluster.write_latest(client, "src/t/k1", "v").ok());
+  cluster.run_for(sim_ms(300));
+  ASSERT_EQ(*hits, 1);
+
+  deployed->cancel();
+  ASSERT_TRUE(cluster.write_latest(client, "src/t/k2", "v").ok());
+  cluster.run_for(sim_ms(300));
+  EXPECT_EQ(*hits, 1);
+}
+
+}  // namespace
+}  // namespace sedna::trigger::dataflow

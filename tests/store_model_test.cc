@@ -1,0 +1,191 @@
+// Model-based property testing: LocalStore against a trivially-correct
+// in-memory oracle under long random operation sequences, parameterized
+// by seed. Catches interaction bugs no example-based test enumerates.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "common/rng.h"
+#include "store/local_store.h"
+
+namespace sedna::store {
+namespace {
+
+/// The oracle: straightforward maps with the documented semantics.
+class OracleStore {
+ public:
+  struct Entry {
+    std::optional<VersionedValue> latest;
+    std::map<NodeId, SourceValue> list;
+  };
+
+  StatusCode write_latest(const std::string& key, const std::string& value,
+                          Timestamp ts) {
+    auto& e = entries_[key];
+    if (e.latest.has_value() && e.latest->ts >= ts) {
+      if (e.latest->ts == ts && e.latest->value == value) {
+        return StatusCode::kOk;  // idempotent replay
+      }
+      return StatusCode::kOutdated;
+    }
+    e.latest = VersionedValue{value, ts, 0};
+    return StatusCode::kOk;
+  }
+
+  StatusCode write_all(const std::string& key, NodeId source,
+                       const std::string& value, Timestamp ts) {
+    auto& e = entries_[key];
+    auto it = e.list.find(source);
+    if (it != e.list.end() && it->second.ts >= ts) {
+      if (it->second.ts == ts && it->second.value == value) {
+        return StatusCode::kOk;
+      }
+      return StatusCode::kOutdated;
+    }
+    e.list[source] = SourceValue{source, value, ts};
+    return StatusCode::kOk;
+  }
+
+  [[nodiscard]] std::optional<VersionedValue> read_latest(
+      const std::string& key) const {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second.latest;
+  }
+
+  [[nodiscard]] std::size_t list_size(const std::string& key) const {
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? 0 : it->second.list.size();
+  }
+
+  StatusCode del(const std::string& key) {
+    return entries_.erase(key) > 0 ? StatusCode::kOk
+                                   : StatusCode::kNotFound;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::map<std::string, Entry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+class ModelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelSweep, RandomOpsAgreeWithOracle) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  LocalStoreConfig cfg;
+  cfg.shards = 1 + rng.next_below(8);
+  LocalStore store(cfg);
+  OracleStore oracle;
+
+  constexpr int kOps = 5000;
+  constexpr int kKeySpace = 60;  // small: forces heavy interaction
+  for (int i = 0; i < kOps; ++i) {
+    const std::string key = "k" + std::to_string(rng.next_below(kKeySpace));
+    const auto ts = static_cast<Timestamp>(1 + rng.next_below(500));
+    const std::string value = "v" + std::to_string(rng.next_below(1000));
+    switch (rng.next_below(5)) {
+      case 0:
+      case 1: {  // write_latest
+        const Status got = store.write_latest(key, value, ts);
+        const StatusCode want = oracle.write_latest(key, value, ts);
+        ASSERT_EQ(got.code(), want)
+            << "op " << i << " write_latest " << key << " ts " << ts;
+        break;
+      }
+      case 2: {  // write_all
+        const auto source = static_cast<NodeId>(rng.next_below(4));
+        const Status got = store.write_all(key, source, value, ts);
+        const StatusCode want = oracle.write_all(key, source, value, ts);
+        ASSERT_EQ(got.code(), want)
+            << "op " << i << " write_all " << key << " src " << source;
+        break;
+      }
+      case 3: {  // read_latest
+        const auto got = store.read_latest(key);
+        const auto want = oracle.read_latest(key);
+        if (want.has_value()) {
+          ASSERT_TRUE(got.ok()) << "op " << i << " read " << key;
+          EXPECT_EQ(got->value, want->value);
+          EXPECT_EQ(got->ts, want->ts);
+        } else {
+          EXPECT_FALSE(got.ok()) << "op " << i << " read " << key;
+        }
+        break;
+      }
+      case 4: {  // delete (occasionally)
+        if (rng.next_below(4) == 0) {
+          const Status got = store.del(key);
+          const StatusCode want = oracle.del(key);
+          ASSERT_EQ(got.code(), want) << "op " << i << " del " << key;
+        }
+        break;
+      }
+    }
+  }
+
+  // Full final-state audit.
+  for (const auto& [key, entry] : oracle.entries()) {
+    if (entry.latest.has_value()) {
+      auto got = store.read_latest(key);
+      ASSERT_TRUE(got.ok()) << key;
+      EXPECT_EQ(got->value, entry.latest->value) << key;
+      EXPECT_EQ(got->ts, entry.latest->ts) << key;
+    }
+    auto list = store.read_all(key);
+    if (entry.list.empty()) {
+      EXPECT_FALSE(list.ok()) << key;
+    } else {
+      ASSERT_TRUE(list.ok()) << key;
+      ASSERT_EQ(list->size(), entry.list.size()) << key;
+      for (const auto& sv : list.value()) {
+        const auto it = entry.list.find(sv.source);
+        ASSERT_NE(it, entry.list.end()) << key;
+        EXPECT_EQ(sv.value, it->second.value) << key;
+        EXPECT_EQ(sv.ts, it->second.ts) << key;
+      }
+    }
+  }
+}
+
+TEST_P(ModelSweep, AccountingNeverGoesNegativeAndTracksContent) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xacc);
+  LocalStore store;
+  std::map<std::string, std::size_t> live_value_sizes;
+
+  for (int i = 0; i < 3000; ++i) {
+    const std::string key = "a" + std::to_string(rng.next_below(40));
+    if (rng.next_below(4) == 0) {
+      if (store.del(key).ok()) live_value_sizes.erase(key);
+    } else {
+      const std::size_t len = rng.next_below(300);
+      store.set(key, std::string(len, 'x'));
+      live_value_sizes[key] = len;
+    }
+    // bytes >= sum of live payload bytes, and slab charge >= bytes.
+    std::size_t payload = 0;
+    for (const auto& [k, n] : live_value_sizes) payload += n;
+    EXPECT_GE(store.stats().bytes, payload);
+    EXPECT_GE(store.slab_charged_bytes(), store.stats().bytes);
+  }
+  EXPECT_EQ(store.size(), live_value_sizes.size());
+  store.clear();
+  EXPECT_EQ(store.stats().bytes, 0u);
+  EXPECT_EQ(store.slab_charged_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelSweep,
+                         ::testing::Values(1, 7, 42, 1337, 99991, 2012),
+                         [](const ::testing::TestParamInfo<std::uint64_t>&
+                                info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace sedna::store

@@ -1,0 +1,263 @@
+// Unit tests for the trigger API surface (DataHooks matching, filters,
+// jobs) and focused runtime behaviours not covered by the end-to-end
+// trigger suite (stats accounting, monitored-predicate maintenance,
+// multiple jobs on one runtime).
+#include <gtest/gtest.h>
+
+#include "cluster/sedna_cluster.h"
+#include "trigger/service.h"
+
+namespace sedna::trigger {
+namespace {
+
+// ---- DataHooks ---------------------------------------------------------------
+
+TEST(DataHooks, PairHookMatchesOnlyThatPair) {
+  DataHooks hooks;
+  hooks.add("ds/t/k");
+  EXPECT_TRUE(hooks.matches("ds/t/k"));
+  EXPECT_FALSE(hooks.matches("ds/t/other"));
+  EXPECT_FALSE(hooks.matches("ds/t2/k"));
+}
+
+TEST(DataHooks, TableHookMatchesItsPairs) {
+  DataHooks hooks;
+  hooks.add("ds/t");
+  EXPECT_TRUE(hooks.matches("ds/t/k1"));
+  EXPECT_TRUE(hooks.matches("ds/t/k2"));
+  EXPECT_FALSE(hooks.matches("ds/t2/k1"));
+  EXPECT_FALSE(hooks.matches("other/t/k1"));
+}
+
+TEST(DataHooks, DatasetHookMatchesAllTables) {
+  DataHooks hooks;
+  hooks.add("ds");
+  EXPECT_TRUE(hooks.matches("ds/t1/k"));
+  EXPECT_TRUE(hooks.matches("ds/t2/k"));
+  EXPECT_FALSE(hooks.matches("other/t/k"));
+}
+
+TEST(DataHooks, MultipleHooksUnion) {
+  DataHooks hooks;
+  hooks.add("a/t").add("b");
+  EXPECT_TRUE(hooks.matches("a/t/x"));
+  EXPECT_TRUE(hooks.matches("b/anything/x"));
+  EXPECT_FALSE(hooks.matches("a/u/x"));
+}
+
+TEST(DataHooks, EmptyMatchesNothing) {
+  DataHooks hooks;
+  EXPECT_TRUE(hooks.empty());
+  EXPECT_FALSE(hooks.matches("a/b/c"));
+}
+
+// ---- Filters -----------------------------------------------------------------
+
+TEST(Filters, PassAllAlwaysTrue) {
+  PassAllFilter filter;
+  EXPECT_TRUE(filter.assert_change("", "", "", ""));
+  EXPECT_TRUE(filter.assert_change("k", "old", "k", "new"));
+}
+
+TEST(Filters, FunctionFilterSeesAllFourArguments) {
+  std::vector<std::string> seen;
+  FunctionFilter filter([&](const std::string& ok, const std::string& ov,
+                            const std::string& nk, const std::string& nv) {
+    seen = {ok, ov, nk, nv};
+    return false;
+  });
+  EXPECT_FALSE(filter.assert_change("oldk", "oldv", "newk", "newv"));
+  EXPECT_EQ(seen,
+            (std::vector<std::string>{"oldk", "oldv", "newk", "newv"}));
+}
+
+// ---- Job ----------------------------------------------------------------------
+
+TEST(JobConfig, DefaultFilterIsPassAll) {
+  Job::Config jc;
+  jc.name = "j";
+  DataHooks hooks;
+  hooks.add("x");
+  Job job(jc, TriggerInput{hooks, nullptr}, TriggerOutput{},
+          std::make_shared<FunctionAction>(
+              [](const std::string&, const std::vector<std::string>&,
+                 ResultWriter&) {}));
+  EXPECT_TRUE(job.filter().assert_change("", "", "", ""));
+  EXPECT_EQ(job.config().name, "j");
+}
+
+// ---- Runtime-focused behaviours -------------------------------------------------
+
+cluster::SednaClusterConfig small_config() {
+  cluster::SednaClusterConfig cfg;
+  cfg.zk_members = 3;
+  cfg.data_nodes = 6;
+  cfg.cluster.total_vnodes = 128;
+  return cfg;
+}
+
+std::shared_ptr<Job> counting_job(const std::string& name,
+                                  const std::string& hook,
+                                  std::shared_ptr<int> counter) {
+  Job::Config jc;
+  jc.name = name;
+  jc.trigger_interval = sim_ms(20);
+  DataHooks hooks;
+  hooks.add(hook);
+  return std::make_shared<Job>(
+      jc, TriggerInput{hooks, {}}, TriggerOutput{},
+      std::make_shared<FunctionAction>(
+          [counter](const std::string&, const std::vector<std::string>&,
+                    ResultWriter&) { ++*counter; }));
+}
+
+TEST(Runtime, MultipleJobsOnSameKeyEachFire) {
+  cluster::SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  auto c1 = std::make_shared<int>(0);
+  auto c2 = std::make_shared<int>(0);
+  triggers.schedule(counting_job("j1", "t", c1));
+  triggers.schedule(counting_job("j2", "t/x", c2));
+
+  auto& client = cluster.make_client();
+  ASSERT_TRUE(cluster.write_latest(client, "t/x/k", "v").ok());
+  cluster.run_for(sim_ms(200));
+  EXPECT_EQ(*c1, 1);
+  EXPECT_EQ(*c2, 1);
+}
+
+TEST(Runtime, CancelStopsFutureActivations) {
+  cluster::SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  auto counter = std::make_shared<int>(0);
+  triggers.schedule(counting_job("gone", "t", counter));
+
+  auto& client = cluster.make_client();
+  ASSERT_TRUE(cluster.write_latest(client, "t/x/k1", "v").ok());
+  cluster.run_for(sim_ms(200));
+  ASSERT_EQ(*counter, 1);
+
+  triggers.cancel("gone");
+  ASSERT_TRUE(cluster.write_latest(client, "t/x/k2", "v").ok());
+  cluster.run_for(sim_ms(200));
+  EXPECT_EQ(*counter, 1);
+}
+
+TEST(Runtime, CancelDisablesChangeCaptureWhenLastJobGoes) {
+  cluster::SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  auto counter = std::make_shared<int>(0);
+  triggers.schedule(counting_job("only", "t", counter));
+  triggers.cancel("only");
+
+  auto& client = cluster.make_client();
+  ASSERT_TRUE(cluster.write_latest(client, "t/x/k", "v").ok());
+  cluster.run_for(sim_ms(100));
+  // No job: the stores must not accumulate dirty records.
+  for (std::size_t i = 0; i < cluster.data_node_count(); ++i) {
+    EXPECT_EQ(cluster.node(i).local_store().pending_changes(), 0u);
+  }
+}
+
+TEST(Runtime, StatsAccountChangesAndSkips) {
+  cluster::SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  auto counter = std::make_shared<int>(0);
+  triggers.schedule(counting_job("stats", "t", counter));
+
+  auto& client = cluster.make_client();
+  ASSERT_TRUE(cluster.write_latest(client, "t/x/k", "v").ok());
+  cluster.run_for(sim_ms(200));
+
+  const auto stats = triggers.aggregate_stats();
+  // One write lands on 3 replicas => 3 captured changes cluster-wide,
+  // 2 skipped as non-primary, 1 activation.
+  EXPECT_EQ(stats.changes_seen, 3u);
+  EXPECT_EQ(stats.non_primary_skipped, 2u);
+  EXPECT_EQ(stats.activations, 1u);
+  EXPECT_EQ(stats.unmatched, 0u);
+}
+
+TEST(Runtime, UnmatchedChangesCounted) {
+  cluster::SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  auto counter = std::make_shared<int>(0);
+  triggers.schedule(counting_job("narrow", "watched", counter));
+
+  auto& client = cluster.make_client();
+  // The monitored predicate only captures "watched/..." keys, so writes
+  // elsewhere produce no dirty records at all.
+  ASSERT_TRUE(cluster.write_latest(client, "elsewhere/t/k", "v").ok());
+  cluster.run_for(sim_ms(200));
+  const auto stats = triggers.aggregate_stats();
+  EXPECT_EQ(stats.changes_seen, 0u);
+  EXPECT_EQ(*counter, 0);
+}
+
+TEST(Runtime, ValuesCarryWriteAllList) {
+  cluster::SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  auto values_seen = std::make_shared<std::vector<std::string>>();
+  {
+    Job::Config jc;
+    jc.name = "list";
+    jc.trigger_interval = sim_ms(20);
+    DataHooks hooks;
+    hooks.add("t");
+    triggers.schedule(std::make_shared<Job>(
+        jc, TriggerInput{hooks, {}}, TriggerOutput{},
+        std::make_shared<FunctionAction>(
+            [values_seen](const std::string&,
+                          const std::vector<std::string>& values,
+                          ResultWriter&) { *values_seen = values; })));
+  }
+  auto& c1 = cluster.make_client();
+  auto& c2 = cluster.make_client();
+  ASSERT_TRUE(cluster.write_all(c1, "t/x/k", "alpha").ok());
+  ASSERT_TRUE(cluster.write_all(c2, "t/x/k", "beta").ok());
+  cluster.run_for(sim_ms(300));
+
+  ASSERT_EQ(values_seen->size(), 2u);
+  std::sort(values_seen->begin(), values_seen->end());
+  EXPECT_EQ((*values_seen)[0], "alpha");
+  EXPECT_EQ((*values_seen)[1], "beta");
+}
+
+TEST(Runtime, PendingActivationsDrainAfterInterval) {
+  cluster::SednaCluster cluster(small_config());
+  ASSERT_TRUE(cluster.boot().ok());
+  TriggerService triggers(cluster);
+  auto counter = std::make_shared<int>(0);
+  {
+    Job::Config jc;
+    jc.name = "slow";
+    jc.trigger_interval = sim_ms(500);
+    DataHooks hooks;
+    hooks.add("t");
+    triggers.schedule(std::make_shared<Job>(
+        jc, TriggerInput{hooks, {}}, TriggerOutput{},
+        std::make_shared<FunctionAction>(
+            [counter](const std::string&, const std::vector<std::string>&,
+                      ResultWriter&) { ++*counter; })));
+  }
+  auto& client = cluster.make_client();
+  // First write fires promptly; the immediate second write is pending
+  // until the interval elapses.
+  ASSERT_TRUE(cluster.write_latest(client, "t/x/k", "v1").ok());
+  cluster.run_for(sim_ms(100));
+  ASSERT_EQ(*counter, 1);
+  ASSERT_TRUE(cluster.write_latest(client, "t/x/k", "v2").ok());
+  cluster.run_for(sim_ms(100));
+  EXPECT_EQ(*counter, 1);  // throttled
+  cluster.run_for(sim_ms(600));
+  EXPECT_EQ(*counter, 2);  // delivered after the interval
+}
+
+}  // namespace
+}  // namespace sedna::trigger

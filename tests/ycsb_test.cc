@@ -1,0 +1,87 @@
+// Unit tests for the YCSB-style workload generator.
+#include <gtest/gtest.h>
+#include <set>
+
+#include <map>
+
+#include "workload/ycsb.h"
+
+namespace sedna::workload {
+namespace {
+
+std::map<YcsbOp::Kind, int> tally(YcsbMix mix, int n) {
+  YcsbConfig cfg;
+  cfg.mix = mix;
+  YcsbWorkload wl(cfg);
+  std::map<YcsbOp::Kind, int> counts;
+  for (int i = 0; i < n; ++i) ++counts[wl.next().kind];
+  return counts;
+}
+
+TEST(Ycsb, MixARoughlyHalfUpdates) {
+  const auto counts = tally(YcsbMix::kA, 10000);
+  EXPECT_NEAR(counts.at(YcsbOp::Kind::kUpdate), 5000, 300);
+  EXPECT_EQ(counts.count(YcsbOp::Kind::kInsert), 0u);
+}
+
+TEST(Ycsb, MixBFivePercentUpdates) {
+  const auto counts = tally(YcsbMix::kB, 10000);
+  EXPECT_NEAR(counts.at(YcsbOp::Kind::kUpdate), 500, 150);
+}
+
+TEST(Ycsb, MixCReadOnly) {
+  const auto counts = tally(YcsbMix::kC, 10000);
+  EXPECT_EQ(counts.at(YcsbOp::Kind::kRead), 10000);
+}
+
+TEST(Ycsb, MixDInsertsGrowTheKeySpace) {
+  YcsbConfig cfg;
+  cfg.mix = YcsbMix::kD;
+  cfg.records = 100;
+  YcsbWorkload wl(cfg);
+  std::set<std::string> inserted_keys;
+  int inserts = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const YcsbOp op = wl.next();
+    if (op.kind == YcsbOp::Kind::kInsert) {
+      // Every insert targets a brand-new key beyond the preload.
+      EXPECT_TRUE(inserted_keys.insert(op.key).second);
+      ++inserts;
+    }
+  }
+  EXPECT_GT(inserts, 150);
+}
+
+TEST(Ycsb, ReadsAreZipfSkewed) {
+  YcsbConfig cfg;
+  cfg.mix = YcsbMix::kC;
+  YcsbWorkload wl(cfg);
+  std::map<std::string, int> freq;
+  for (int i = 0; i < 20000; ++i) ++freq[wl.next().key];
+  int hottest = 0;
+  for (const auto& [key, n] : freq) hottest = std::max(hottest, n);
+  // zipf 0.99 over 2000 records: head key gets far more than uniform's 10.
+  EXPECT_GT(hottest, 500);
+}
+
+TEST(Ycsb, DeterministicPerSeed) {
+  YcsbConfig cfg;
+  cfg.mix = YcsbMix::kA;
+  YcsbWorkload a(cfg), b(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    const YcsbOp oa = a.next();
+    const YcsbOp ob = b.next();
+    EXPECT_EQ(oa.kind, ob.kind);
+    EXPECT_EQ(oa.key, ob.key);
+  }
+}
+
+TEST(Ycsb, LoadKeysMatchPaperShape) {
+  YcsbConfig cfg;
+  YcsbWorkload wl(cfg);
+  EXPECT_EQ(wl.load_key(0).substr(0, 5), "test-");
+  EXPECT_EQ(wl.value().size(), 100u);
+}
+
+}  // namespace
+}  // namespace sedna::workload
