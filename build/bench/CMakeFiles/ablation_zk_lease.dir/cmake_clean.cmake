@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zk_lease.dir/ablation_zk_lease.cc.o"
+  "CMakeFiles/ablation_zk_lease.dir/ablation_zk_lease.cc.o.d"
+  "ablation_zk_lease"
+  "ablation_zk_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zk_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

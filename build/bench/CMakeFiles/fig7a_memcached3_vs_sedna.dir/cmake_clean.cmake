@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_memcached3_vs_sedna.dir/fig7a_memcached3_vs_sedna.cc.o"
+  "CMakeFiles/fig7a_memcached3_vs_sedna.dir/fig7a_memcached3_vs_sedna.cc.o.d"
+  "fig7a_memcached3_vs_sedna"
+  "fig7a_memcached3_vs_sedna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_memcached3_vs_sedna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

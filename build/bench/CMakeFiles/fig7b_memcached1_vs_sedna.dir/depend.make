@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7b_memcached1_vs_sedna.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_multiclient.dir/fig8_multiclient.cc.o"
+  "CMakeFiles/fig8_multiclient.dir/fig8_multiclient.cc.o.d"
+  "fig8_multiclient"
+  "fig8_multiclient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_multiclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotkey_skew.dir/hotkey_skew.cc.o"
+  "CMakeFiles/hotkey_skew.dir/hotkey_skew.cc.o.d"
+  "hotkey_skew"
+  "hotkey_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotkey_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trigger_pipeline.dir/trigger_pipeline.cc.o"
+  "CMakeFiles/trigger_pipeline.dir/trigger_pipeline.cc.o.d"
+  "trigger_pipeline"
+  "trigger_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trigger_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

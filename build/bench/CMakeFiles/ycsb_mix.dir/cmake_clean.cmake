@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_mix.dir/ycsb_mix.cc.o"
+  "CMakeFiles/ycsb_mix.dir/ycsb_mix.cc.o.d"
+  "ycsb_mix"
+  "ycsb_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

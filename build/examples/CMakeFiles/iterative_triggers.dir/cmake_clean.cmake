@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_triggers.dir/iterative_triggers.cpp.o"
+  "CMakeFiles/iterative_triggers.dir/iterative_triggers.cpp.o.d"
+  "iterative_triggers"
+  "iterative_triggers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_triggers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microblog_search.dir/microblog_search.cpp.o"
+  "CMakeFiles/microblog_search.dir/microblog_search.cpp.o.d"
+  "microblog_search"
+  "microblog_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microblog_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/sedna_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trigger/CMakeFiles/sedna_trigger.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/sedna_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/sedna_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/zk/CMakeFiles/sedna_zk.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/sedna_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sedna_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

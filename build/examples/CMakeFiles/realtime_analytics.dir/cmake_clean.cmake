@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_analytics.dir/realtime_analytics.cpp.o"
+  "CMakeFiles/realtime_analytics.dir/realtime_analytics.cpp.o.d"
+  "realtime_analytics"
+  "realtime_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_wordcount.dir/streaming_wordcount.cpp.o"
+  "CMakeFiles/streaming_wordcount.dir/streaming_wordcount.cpp.o.d"
+  "streaming_wordcount"
+  "streaming_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_baseline.dir/memcache.cc.o"
+  "CMakeFiles/sedna_baseline.dir/memcache.cc.o.d"
+  "libsedna_baseline.a"
+  "libsedna_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_cluster.dir/metadata.cc.o"
+  "CMakeFiles/sedna_cluster.dir/metadata.cc.o.d"
+  "CMakeFiles/sedna_cluster.dir/sedna_client.cc.o"
+  "CMakeFiles/sedna_cluster.dir/sedna_client.cc.o.d"
+  "CMakeFiles/sedna_cluster.dir/sedna_cluster.cc.o"
+  "CMakeFiles/sedna_cluster.dir/sedna_cluster.cc.o.d"
+  "CMakeFiles/sedna_cluster.dir/sedna_node.cc.o"
+  "CMakeFiles/sedna_cluster.dir/sedna_node.cc.o.d"
+  "libsedna_cluster.a"
+  "libsedna_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_ring.dir/rebalancer.cc.o"
+  "CMakeFiles/sedna_ring.dir/rebalancer.cc.o.d"
+  "CMakeFiles/sedna_ring.dir/vnode_table.cc.o"
+  "CMakeFiles/sedna_ring.dir/vnode_table.cc.o.d"
+  "libsedna_ring.a"
+  "libsedna_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

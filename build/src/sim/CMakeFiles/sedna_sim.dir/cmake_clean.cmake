@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_sim.dir/network.cc.o"
+  "CMakeFiles/sedna_sim.dir/network.cc.o.d"
+  "libsedna_sim.a"
+  "libsedna_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

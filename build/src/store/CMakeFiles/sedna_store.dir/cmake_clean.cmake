@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_store.dir/local_store.cc.o"
+  "CMakeFiles/sedna_store.dir/local_store.cc.o.d"
+  "libsedna_store.a"
+  "libsedna_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

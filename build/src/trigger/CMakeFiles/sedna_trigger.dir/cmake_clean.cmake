@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_trigger.dir/runtime.cc.o"
+  "CMakeFiles/sedna_trigger.dir/runtime.cc.o.d"
+  "libsedna_trigger.a"
+  "libsedna_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

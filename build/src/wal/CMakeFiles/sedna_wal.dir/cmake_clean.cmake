@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_wal.dir/persistence.cc.o"
+  "CMakeFiles/sedna_wal.dir/persistence.cc.o.d"
+  "CMakeFiles/sedna_wal.dir/snapshot.cc.o"
+  "CMakeFiles/sedna_wal.dir/snapshot.cc.o.d"
+  "CMakeFiles/sedna_wal.dir/wal.cc.o"
+  "CMakeFiles/sedna_wal.dir/wal.cc.o.d"
+  "libsedna_wal.a"
+  "libsedna_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zk/zk_client.cc" "src/zk/CMakeFiles/sedna_zk.dir/zk_client.cc.o" "gcc" "src/zk/CMakeFiles/sedna_zk.dir/zk_client.cc.o.d"
+  "/root/repo/src/zk/zk_server.cc" "src/zk/CMakeFiles/sedna_zk.dir/zk_server.cc.o" "gcc" "src/zk/CMakeFiles/sedna_zk.dir/zk_server.cc.o.d"
+  "/root/repo/src/zk/znode_tree.cc" "src/zk/CMakeFiles/sedna_zk.dir/znode_tree.cc.o" "gcc" "src/zk/CMakeFiles/sedna_zk.dir/znode_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sedna_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_zk.dir/zk_client.cc.o"
+  "CMakeFiles/sedna_zk.dir/zk_client.cc.o.d"
+  "CMakeFiles/sedna_zk.dir/zk_server.cc.o"
+  "CMakeFiles/sedna_zk.dir/zk_server.cc.o.d"
+  "CMakeFiles/sedna_zk.dir/znode_tree.cc.o"
+  "CMakeFiles/sedna_zk.dir/znode_tree.cc.o.d"
+  "libsedna_zk.a"
+  "libsedna_zk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_zk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_extensions_test.dir/cluster_extensions_test.cc.o"
+  "CMakeFiles/cluster_extensions_test.dir/cluster_extensions_test.cc.o.d"
+  "cluster_extensions_test"
+  "cluster_extensions_test.pdb"
+  "cluster_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_persistence_test.dir/cluster_persistence_test.cc.o"
+  "CMakeFiles/cluster_persistence_test.dir/cluster_persistence_test.cc.o.d"
+  "cluster_persistence_test"
+  "cluster_persistence_test.pdb"
+  "cluster_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

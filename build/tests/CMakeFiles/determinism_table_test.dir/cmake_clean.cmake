@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinism_table_test.dir/determinism_table_test.cc.o"
+  "CMakeFiles/determinism_table_test.dir/determinism_table_test.cc.o.d"
+  "determinism_table_test"
+  "determinism_table_test.pdb"
+  "determinism_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinism_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

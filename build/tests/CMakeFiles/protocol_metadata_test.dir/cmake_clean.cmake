@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_metadata_test.dir/protocol_metadata_test.cc.o"
+  "CMakeFiles/protocol_metadata_test.dir/protocol_metadata_test.cc.o.d"
+  "protocol_metadata_test"
+  "protocol_metadata_test.pdb"
+  "protocol_metadata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_metadata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_ttl_test.dir/scan_ttl_test.cc.o"
+  "CMakeFiles/scan_ttl_test.dir/scan_ttl_test.cc.o.d"
+  "scan_ttl_test"
+  "scan_ttl_test.pdb"
+  "scan_ttl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_ttl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_semantics_test.dir/sedna_semantics_test.cc.o"
+  "CMakeFiles/sedna_semantics_test.dir/sedna_semantics_test.cc.o.d"
+  "sedna_semantics_test"
+  "sedna_semantics_test.pdb"
+  "sedna_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slab_lru_test.dir/slab_lru_test.cc.o"
+  "CMakeFiles/slab_lru_test.dir/slab_lru_test.cc.o.d"
+  "slab_lru_test"
+  "slab_lru_test.pdb"
+  "slab_lru_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slab_lru_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

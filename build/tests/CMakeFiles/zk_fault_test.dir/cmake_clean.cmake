@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zk_fault_test.dir/zk_fault_test.cc.o"
+  "CMakeFiles/zk_fault_test.dir/zk_fault_test.cc.o.d"
+  "zk_fault_test"
+  "zk_fault_test.pdb"
+  "zk_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zk_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

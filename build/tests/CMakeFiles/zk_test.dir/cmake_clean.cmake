@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zk_test.dir/zk_test.cc.o"
+  "CMakeFiles/zk_test.dir/zk_test.cc.o.d"
+  "zk_test"
+  "zk_test.pdb"
+  "zk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

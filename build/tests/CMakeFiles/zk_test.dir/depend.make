@@ -1,0 +1,2 @@
+# Empty dependencies file for zk_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cluster_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/trigger_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/zk_test[1]_include.cmake")
+include("/root/repo/build/tests/ring_test[1]_include.cmake")
+include("/root/repo/build/tests/quorum_property_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/trigger_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_metadata_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_table_test[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_test[1]_include.cmake")
+include("/root/repo/build/tests/zk_fault_test[1]_include.cmake")
+include("/root/repo/build/tests/admin_status_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_ttl_test[1]_include.cmake")
+include("/root/repo/build/tests/slab_lru_test[1]_include.cmake")
+include("/root/repo/build/tests/sedna_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/ycsb_test[1]_include.cmake")
+include("/root/repo/build/tests/store_model_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_persistence_test[1]_include.cmake")
