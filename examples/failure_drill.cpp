@@ -10,8 +10,12 @@
 //   t5  crash a ZooKeeper *follower* → data path unaffected
 //   t6  crash the ZooKeeper *leader* → next member leads; writes continue
 //   t7  restart the data node        → it rejoins and serves again
+//   t8  trace one read under a fresh replica crash → the span tree shows
+//       the replica timeout, the client retry and the read repair
 #include <cstdio>
+#include <string>
 
+#include "cluster/admin.h"
 #include "cluster/sedna_cluster.h"
 #include "workload/kv_workload.h"
 
@@ -126,9 +130,69 @@ int main() {
   banner(cluster, "restarted the crashed members; node 2 rejoined");
   const int final_ok = survey("final survey");
 
+  // ---- t8: trace one degraded read end to end ----------------------------
+  // Pick a key with three distinct replicas, hollow the third (crash +
+  // restart wipes its RAM copy), kill the primary, then read with the
+  // tracer on: the span tree must show the timeout on the dead primary,
+  // the client's retry to the second replica, and the read repair that
+  // backfills the hollowed one.
+  auto index_of = [&](NodeId id) {
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < cluster.data_node_count(); ++i) {
+      if (cluster.node(i).id() == id) idx = i;
+    }
+    return idx;
+  };
+  std::string traced_key;
+  std::vector<NodeId> reps;
+  for (int i = 0; i < 1000 && traced_key.empty(); ++i) {
+    const std::string candidate = "traced-" + std::to_string(i);
+    auto r = client.metadata().table().replicas_for_key(candidate);
+    if (r.size() == 3 && r[0] != r[1] && r[1] != r[2] && r[0] != r[2]) {
+      traced_key = candidate;
+      reps = r;
+    }
+  }
+  if (traced_key.empty() ||
+      !cluster.write_latest(client, traced_key, "traced-value").ok()) {
+    std::fprintf(stderr, "trace setup failed\n");
+    return 1;
+  }
+  cluster.crash_node(index_of(reps[2]));
+  cluster.restart_node(index_of(reps[2]));  // rejoins with an empty store
+  cluster.crash_node(index_of(reps[0]));
+  banner(cluster, "CRASH primary replica + hollow a second one; tracing ON");
+
+  cluster.sim().tracer().set_enabled(true);
+  const auto traced = cluster.read_latest(client, traced_key);
+  cluster.run_for(sim_ms(50));  // let the read repair round-trip finish
+  cluster.sim().tracer().set_enabled(false);
+
+  ClusterInspector inspector(cluster);
+  std::printf("\n--- span tree for the degraded read ---\n%s",
+              inspector.trace_report().c_str());
+  const std::string tree = inspector.trace_report();
+  const bool tree_ok = traced.ok() && traced->value == "traced-value" &&
+                       tree.find("client.read.attempt#1") !=
+                           std::string::npos &&
+                       tree.find("timeout") != std::string::npos &&
+                       tree.find("coord.read_repair") != std::string::npos;
+  std::printf("--- cluster metrics (excerpt) ---\n");
+  const std::string metrics = inspector.metrics_text();
+  for (const char* needle :
+       {"sedna_client_read_retries", "sedna_coordinator_read_repairs",
+        "sedna_failure_suspicions"}) {
+    std::size_t pos = metrics.find(needle);
+    while (pos != std::string::npos) {
+      const std::size_t end = metrics.find('\n', pos);
+      std::printf("%s\n", metrics.substr(pos, end - pos).c_str());
+      pos = metrics.find(needle, end);
+    }
+  }
+
   const bool ok = during == kKeys && after_zkf == kKeys &&
                   final_ok == kKeys && writes_ok == 50 &&
-                  fully >= kKeys * 9 / 10 && recoveries > 0;
+                  fully >= kKeys * 9 / 10 && recoveries > 0 && tree_ok;
   std::printf("\n%s\n", ok ? "drill passed: no read was ever lost, "
                              "recovery and failover worked"
                            : "DRILL FAILED");

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "cluster/sedna_cluster.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "ring/imbalance.h"
 
 namespace sedna::cluster {
@@ -166,6 +168,33 @@ class ClusterInspector {
       }
       std::fprintf(out, "\n");
     }
+  }
+
+  /// ASCII span trees for every trace recorded so far (tracer must have
+  /// been enabled on the cluster's simulation before the traffic ran).
+  [[nodiscard]] std::string trace_report() const {
+    return cluster_.sim().tracer().render_all();
+  }
+
+  /// Machine-readable span dump; byte-identical across same-seed runs.
+  [[nodiscard]] std::string trace_json() const {
+    return cluster_.sim().tracer().dump_json();
+  }
+
+  /// Cluster-wide Prometheus-style text exposition: every data node and
+  /// client registry, labeled, plus the merged totals.
+  [[nodiscard]] std::string metrics_text() const {
+    MetricsRegistry registry;
+    for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+      auto& node = cluster_.node(i);
+      registry.attach("node-" + std::to_string(node.id()), node.metrics());
+    }
+    for (std::size_t i = 0; i < cluster_.client_count(); ++i) {
+      auto& client = cluster_.client(i);
+      registry.attach("client-" + std::to_string(client.id()),
+                      client.metrics());
+    }
+    return registry.prometheus_text();
   }
 
  private:

@@ -97,6 +97,10 @@ void MetadataCache::load_vnodes(std::uint32_t next, ReadyCallback on_ready) {
 void MetadataCache::schedule_sync() {
   sync_timer_ = host_.sim().schedule(zk_.current_lease(), [this] {
     if (!host_.alive()) return;
+    // Periodic lease sync is background work, not part of whatever trace
+    // the host last dispatched. (sync_now() calls, by contrast, run under
+    // the caller's context so retry-triggered syncs show in the tree.)
+    host_.set_trace_context({});
     run_sync([this] { schedule_sync(); });
   });
 }

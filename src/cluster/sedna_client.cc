@@ -39,6 +39,27 @@ void SednaClient::on_message(const sim::Message& msg) {
   if (msg.type == zk::kMsgWatchEvent) zk_.on_watch_event(msg.payload);
 }
 
+std::string SednaClient::rpc_span_name(sim::MessageType type) const {
+  switch (type) {
+    case kMsgClientWrite: return "rpc.client_write";
+    case kMsgClientRead: return "rpc.client_read";
+    case kMsgScan: return "rpc.scan";
+    case zk::kMsgClientRequest: return "rpc.zk_request";
+    case zk::kMsgSessionPing: return "rpc.zk_ping";
+    default: return sim::Host::rpc_span_name(type);
+  }
+}
+
+SednaClient::WriteCallback SednaClient::traced_write(const char* op,
+                                                     WriteCallback cb) {
+  const TraceContext root = begin_trace(op);
+  if (!root.active()) return cb;
+  return [this, root, cb = std::move(cb)](const Status& st) {
+    end_span(root.span_id, std::string(to_string(st.code())));
+    cb(st);
+  };
+}
+
 NodeId SednaClient::coordinator_for(const std::string& key,
                                     int attempt) const {
   const auto replicas = metadata_.table().replicas_for_key(key);
@@ -52,14 +73,20 @@ void SednaClient::do_write(WriteRequest req, int attempt, WriteCallback cb) {
     cb(Status::Unavailable("no replicas for key"));
     return;
   }
+  // Attempt span: one per coordinator tried. Siblings under the op root,
+  // so a retried write reads as attempt#0 (timeout) then attempt#1 (ok).
+  const SpanId span =
+      begin_span("client.write.attempt#" + std::to_string(attempt));
+  const TraceContext parent = enter_span(span);
   // Encode before the lambda capture moves `req` (argument evaluation
   // order is unspecified).
   std::string payload = req.encode();
   call_with_timeout(
       coordinator, kMsgClientWrite, std::move(payload),
       config_.op_timeout_us,
-      [this, req = std::move(req), attempt, cb = std::move(cb)](
-           const Status& st, const std::string& body) mutable {
+      [this, req = std::move(req), attempt, span, parent,
+       cb = std::move(cb)](const Status& st,
+                           const std::string& body) mutable {
          Status final = Status::Failure("write attempts exhausted");
          if (st.ok()) {
            auto rep = WriteReply::decode(body);
@@ -70,6 +97,7 @@ void SednaClient::do_write(WriteRequest req, int attempt, WriteCallback cb) {
            if (rep.ok() && rep->status != StatusCode::kUnavailable &&
                rep->status != StatusCode::kFailure) {
              metrics_.counter("client.writes").add(1);
+             end_span(span, std::string(to_string(rep->status)));
              cb(Status(rep->status));
              return;
            }
@@ -77,16 +105,20 @@ void SednaClient::do_write(WriteRequest req, int attempt, WriteCallback cb) {
          }
          if (attempt + 1 >= config_.max_attempts) {
            metrics_.counter("client.write_failures").add(1);
+           end_span(span, "failure");
            cb(final);
            return;
          }
          // Refresh routing state, then retry via the next replica.
          metrics_.counter("client.write_retries").add(1);
-         metadata_.sync_now([this, req = std::move(req), attempt,
+         end_span(span, st.ok() ? "retry" : "timeout");
+         metadata_.sync_now([this, req = std::move(req), attempt, parent,
                              cb = std::move(cb)]() mutable {
+           set_trace_context(parent);
            do_write(std::move(req), attempt + 1, std::move(cb));
          });
        });
+  set_trace_context(parent);
 }
 
 void SednaClient::do_read(ReadRequest req, int attempt,
@@ -96,18 +128,23 @@ void SednaClient::do_read(ReadRequest req, int attempt,
     cb(Status::Unavailable("no replicas for key"));
     return;
   }
+  const SpanId span =
+      begin_span("client.read.attempt#" + std::to_string(attempt));
+  const TraceContext parent = enter_span(span);
   std::string payload = req.encode();
   call_with_timeout(
       coordinator, kMsgClientRead, std::move(payload),
       config_.op_timeout_us,
-      [this, req = std::move(req), attempt, cb = std::move(cb)](
-           const Status& st, const std::string& body) mutable {
+      [this, req = std::move(req), attempt, span, parent,
+       cb = std::move(cb)](const Status& st,
+                           const std::string& body) mutable {
          Status final = Status::Failure("read attempts exhausted");
          if (st.ok()) {
            auto rep = ReadReply::decode(body);
            if (rep.ok() && rep->status != StatusCode::kUnavailable &&
                rep->status != StatusCode::kFailure) {
              metrics_.counter("client.reads").add(1);
+             end_span(span, std::string(to_string(rep->status)));
              cb(std::move(rep));
              return;
            }
@@ -115,15 +152,19 @@ void SednaClient::do_read(ReadRequest req, int attempt,
          }
          if (attempt + 1 >= config_.max_attempts) {
            metrics_.counter("client.read_failures").add(1);
+           end_span(span, "failure");
            cb(final);
            return;
          }
          metrics_.counter("client.read_retries").add(1);
-         metadata_.sync_now([this, req = std::move(req), attempt,
+         end_span(span, st.ok() ? "retry" : "timeout");
+         metadata_.sync_now([this, req = std::move(req), attempt, parent,
                              cb = std::move(cb)]() mutable {
+           set_trace_context(parent);
            do_read(std::move(req), attempt + 1, std::move(cb));
          });
        });
+  set_trace_context(parent);
 }
 
 void SednaClient::write_latest(const std::string& key,
@@ -134,7 +175,8 @@ void SednaClient::write_latest(const std::string& key,
   req.value = value;
   req.ts = next_ts();
   req.source = id();
-  do_write(std::move(req), 0, std::move(cb));
+  do_write(std::move(req), 0,
+           traced_write("client.write_latest", std::move(cb)));
 }
 
 void SednaClient::write_latest_ttl(const std::string& key,
@@ -147,7 +189,8 @@ void SednaClient::write_latest_ttl(const std::string& key,
   req.ts = next_ts();
   req.source = id();
   req.ttl = ttl_us;
-  do_write(std::move(req), 0, std::move(cb));
+  do_write(std::move(req), 0,
+           traced_write("client.write_latest_ttl", std::move(cb)));
 }
 
 void SednaClient::scan(const std::string& prefix, ScanCallback cb,
@@ -201,7 +244,8 @@ void SednaClient::write_all(const std::string& key, const std::string& value,
   req.value = value;
   req.ts = next_ts();
   req.source = id();
-  do_write(std::move(req), 0, std::move(cb));
+  do_write(std::move(req), 0,
+           traced_write("client.write_all", std::move(cb)));
 }
 
 void SednaClient::write_latest_batch(
@@ -248,8 +292,12 @@ void SednaClient::read_latest(const std::string& key, ReadLatestCallback cb) {
   ReadRequest req;
   req.mode = ReadMode::kLatest;
   req.key = key;
+  const TraceContext root = begin_trace("client.read_latest");
   do_read(std::move(req), 0,
-          [cb = std::move(cb)](const Result<ReadReply>& rep) {
+          [this, root, cb = std::move(cb)](const Result<ReadReply>& rep) {
+            end_span(root.span_id,
+                     std::string(to_string(rep.ok() ? rep->status
+                                                    : rep.status().code())));
             if (!rep.ok()) {
               cb(rep.status());
               return;
@@ -268,8 +316,12 @@ void SednaClient::read_all(const std::string& key, ReadAllCallback cb) {
   ReadRequest req;
   req.mode = ReadMode::kAll;
   req.key = key;
+  const TraceContext root = begin_trace("client.read_all");
   do_read(std::move(req), 0,
-          [cb = std::move(cb)](const Result<ReadReply>& rep) {
+          [this, root, cb = std::move(cb)](const Result<ReadReply>& rep) {
+            end_span(root.span_id,
+                     std::string(to_string(rep.ok() ? rep->status
+                                                    : rep.status().code())));
             if (!rep.ok()) {
               cb(rep.status());
               return;

@@ -100,8 +100,14 @@ class SednaClient : public sim::Host {
 
  protected:
   void on_message(const sim::Message& msg) override;
+  [[nodiscard]] std::string rpc_span_name(
+      sim::MessageType type) const override;
 
  private:
+  /// Opens a root span for one public write op and returns a callback
+  /// wrapper that closes it with the op's final status code.
+  [[nodiscard]] WriteCallback traced_write(const char* op, WriteCallback cb);
+
   void do_write(WriteRequest req, int attempt, WriteCallback cb);
   void do_read(ReadRequest req, int attempt,
                std::function<void(const Result<ReadReply>&)> cb);

@@ -61,6 +61,8 @@ class SednaCluster {
 
   [[nodiscard]] std::size_t data_node_count() const { return nodes_.size(); }
   [[nodiscard]] SednaNode& node(std::size_t i) { return *nodes_[i]; }
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+  [[nodiscard]] SednaClient& client(std::size_t i) { return *clients_[i]; }
   [[nodiscard]] zk::ZkServer& zk_member(std::size_t i) { return *zk_[i]; }
   [[nodiscard]] std::vector<NodeId> zk_ids() const;
   [[nodiscard]] std::vector<NodeId> data_ids() const;

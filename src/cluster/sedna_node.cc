@@ -78,10 +78,16 @@ void SednaNode::start(ReadyCallback on_ready) {
                    }
                    ready_ = true;
                    sim().schedule_periodic(config_.load_report_interval,
-                                           [this] { report_load(); });
+                                           [this] {
+                                             set_trace_context({});
+                                             report_load();
+                                           });
                    if (config_.rebalance_interval > 0) {
                      sim().schedule_periodic(config_.rebalance_interval,
-                                             [this] { rebalance_tick(); });
+                                             [this] {
+                                               set_trace_context({});
+                                               rebalance_tick();
+                                             });
                    }
                    on_ready(Status::Ok());
                  });
@@ -189,6 +195,7 @@ void SednaNode::schedule_flush() {
   }
   sim().schedule_periodic(config_.flush_interval, [this] {
     if (!alive()) return;
+    set_trace_context({});
     if (persistence_->flush_snapshot().ok()) {
       metrics_.counter("persistence.snapshots").add(1);
     }
@@ -253,6 +260,20 @@ void SednaNode::on_message(const sim::Message& msg) {
       break;
     default:
       break;
+  }
+}
+
+std::string SednaNode::rpc_span_name(sim::MessageType type) const {
+  switch (type) {
+    case kMsgClientWrite: return "rpc.client_write";
+    case kMsgClientRead: return "rpc.client_read";
+    case kMsgReplicaWrite: return "rpc.replica_write";
+    case kMsgReplicaRead: return "rpc.replica_read";
+    case kMsgFetchVnode: return "rpc.fetch_vnode";
+    case kMsgScan: return "rpc.scan";
+    case zk::kMsgClientRequest: return "rpc.zk_request";
+    case zk::kMsgSessionPing: return "rpc.zk_ping";
+    default: return sim::Host::rpc_span_name(type);
   }
 }
 
@@ -329,6 +350,7 @@ void SednaNode::handle_replica_write(const sim::Message& msg) {
     rep.status = apply_write(*req);
     metrics_.counter("replica.writes").add(1);
   }
+  instant_span("replica.write", std::string(to_string(rep.status)));
   reply(msg, rep.encode());
 }
 
@@ -341,7 +363,9 @@ void SednaNode::handle_replica_read(const sim::Message& msg) {
     return;
   }
   metrics_.counter("replica.reads").add(1);
-  reply(msg, local_read(*req).encode());
+  ReadReply rep = local_read(*req);
+  instant_span("replica.read", std::string(to_string(rep.status)));
+  reply(msg, rep.encode());
 }
 
 void SednaNode::handle_client_write(const sim::Message& msg) {
@@ -362,6 +386,8 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
   const auto cfg = metadata_.config();
   metrics_.counter("coordinator.writes").add(1);
   const SimTime started = now();
+  const SpanId coord_span = begin_span("coord.write");
+  const TraceContext prev_ctx = enter_span(coord_span);
 
   struct WriteState {
     std::uint32_t acks = 0;
@@ -375,7 +401,7 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
   const auto total = static_cast<std::uint32_t>(replicas.size());
 
   auto settle = [this, state, origin, cfg, total, started, vnode,
-                 key = req.key]() {
+                 coord_span, key = req.key]() {
     if (state->replied) return;
     WriteReply rep;
     if (state->acks >= cfg.write_quorum) {
@@ -390,6 +416,7 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
     }
     state->replied = true;
     metrics_.histogram("coordinator.write_latency_us").record(now() - started);
+    end_span(coord_span, std::string(to_string(rep.status)));
     reply(origin, rep.encode());
   };
 
@@ -397,6 +424,7 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
   for (NodeId replica : replicas) {
     if (replica == id()) {
       const StatusCode st = apply_write(req);
+      instant_span("coord.local_write", std::string(to_string(st)));
       ++state->responses;
       if (st == StatusCode::kOk) {
         ++state->acks;
@@ -428,6 +456,7 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
            settle();
          });
   }
+  set_trace_context(prev_ctx);
 }
 
 void SednaNode::handle_client_read(const sim::Message& msg) {
@@ -445,6 +474,8 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
   const auto cfg = metadata_.config();
   metrics_.counter("coordinator.reads").add(1);
   const SimTime started = now();
+  const SpanId coord_span = begin_span("coord.read");
+  const TraceContext prev_ctx = enter_span(coord_span);
 
   struct ReadState {
     std::vector<std::pair<NodeId, ReadReply>> replies;
@@ -460,7 +491,7 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
   const sim::Message origin = msg;
   const auto total = static_cast<std::uint32_t>(replicas.size());
 
-  auto settle = [this, state, origin, cfg, total, started,
+  auto settle = [this, state, origin, cfg, total, started, coord_span,
                  req]() {
     if (state->replied) return;
 
@@ -485,6 +516,7 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
               .record(now() - started);
           ReadReply out = rep;
           out.status = StatusCode::kOk;
+          end_span(coord_span, "ok");
           reply(origin, out.encode());
           // Repair stragglers that have older (or no) data.
           std::vector<NodeId> stale;
@@ -528,6 +560,7 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
       } else {
         out.status = StatusCode::kNotFound;
       }
+      end_span(coord_span, std::string(to_string(out.status)));
       reply(origin, out.encode());
       return;
     }
@@ -558,6 +591,7 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
                        ? StatusCode::kFailure
                        : StatusCode::kNotFound;
     }
+    end_span(coord_span, std::string(to_string(out.status)));
     reply(origin, out.encode());
   };
 
@@ -565,6 +599,7 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
   for (NodeId replica : replicas) {
     if (replica == id()) {
       ReadReply rep = local_read(req);
+      instant_span("coord.local_read", std::string(to_string(rep.status)));
       state->replies.emplace_back(id(), std::move(rep));
       ++state->responses;
       settle();
@@ -596,12 +631,17 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
            settle();
          });
   }
+  set_trace_context(prev_ctx);
 }
 
 void SednaNode::read_repair(const std::string& key,
                             const store::VersionedValue& fresh,
                             const std::vector<NodeId>& stale) {
   metrics_.counter("coordinator.read_repairs").add(1);
+  // The repair span closes when the last stale replica has been pushed,
+  // so its duration covers the backfill round trips.
+  const SpanId span = begin_span("coord.read_repair");
+  const TraceContext prev = enter_span(span);
   WriteRequest req;
   req.mode = WriteMode::kLatest;
   req.key = key;
@@ -609,14 +649,19 @@ void SednaNode::read_repair(const std::string& key,
   req.ts = fresh.ts;
   req.flags = fresh.flags;
   const std::string payload = req.encode();
+  auto remaining = std::make_shared<std::size_t>(stale.size());
   for (NodeId node : stale) {
     if (node == id()) {
       apply_write(req);
+      if (--*remaining == 0) end_span(span);
     } else {
       call(node, kMsgReplicaWrite, payload,
-           [](const Status&, const std::string&) {});
+           [this, span, remaining](const Status&, const std::string&) {
+             if (--*remaining == 0) end_span(span);
+           });
     }
   }
+  set_trace_context(prev);
 }
 
 void SednaNode::suspect_node(NodeId replica, VnodeId vnode) {
@@ -629,13 +674,23 @@ void SednaNode::suspect_node(NodeId replica, VnodeId vnode) {
     return;
   }
   metrics_.counter("failure.suspicions").add(1);
+  const SpanId span = begin_span("failure.suspect");
+  const TraceContext prev = enter_span(span);
+  const TraceContext span_ctx = trace_context();
   zk_.exists(real_node_znode(replica),
-             [this, replica, vnode](const Result<zk::ZnodeStat>& st) {
+             [this, span, span_ctx, replica,
+              vnode](const Result<zk::ZnodeStat>& st) {
+               set_trace_context(span_ctx);
                if (st.ok()) {
                  verified_alive_[replica] = now();
+                 end_span(span, "alive");
                  return;  // transient hiccup; node is registered
                }
-               if (!st.status().is(StatusCode::kNotFound)) return;
+               if (!st.status().is(StatusCode::kNotFound)) {
+                 end_span(span, "error");
+                 return;
+               }
+               end_span(span, "dead");
                // Ephemeral gone: the heartbeat lapsed and ZooKeeper
                // expired the session — the node is dead (Section III.D).
                // Recover every vnode the dead node owns within this key's
@@ -658,12 +713,14 @@ void SednaNode::suspect_node(NodeId replica, VnodeId vnode) {
                  }
                }
              });
+  set_trace_context(prev);
 }
 
 void SednaNode::start_recovery(VnodeId vnode, NodeId dead) {
   if (recovering_.contains(vnode)) return;
   recovering_.insert(vnode);
   metrics_.counter("failure.recoveries_started").add(1);
+  instant_span("recovery.start");
 
   // Healthy sources for the slice: the vnode's other current replicas.
   auto sources = metadata_.table().replicas_for_vnode(vnode);
@@ -744,6 +801,7 @@ void SednaNode::start_recovery(VnodeId vnode, NodeId dead) {
                     }
                     metadata_.apply_local(vnode, target);
                     metrics_.counter("failure.recoveries_completed").add(1);
+                    instant_span("recovery.reassigned");
                     append_change_journal(vnode, target, [this, vnode,
                                                           target, sources] {
                       // Tell the new owner to pull the slice from the

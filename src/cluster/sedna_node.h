@@ -99,6 +99,8 @@ class SednaNode : public sim::Host {
  protected:
   void on_message(const sim::Message& msg) override;
   void on_crash() override;
+  [[nodiscard]] std::string rpc_span_name(
+      sim::MessageType type) const override;
 
  private:
   // Coordinator paths.

@@ -51,14 +51,21 @@ class Histogram {
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
       if (seen + buckets_[i] > target) {
-        const double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << i);
+        // Bucket i covers [2^i, 2^(i+1)); bucket 0 additionally absorbs
+        // value 0, so its lower bound is 2^0 like every other bucket
+        // rather than 0.0 (which dragged estimates below the smallest
+        // recordable latency — simulated durations are clamped >= 1).
+        const double lo = static_cast<double>(1ULL << i);
         const double hi = static_cast<double>(2ULL << i);
         const double frac =
             buckets_[i] == 0
                 ? 0.0
                 : static_cast<double>(target - seen) /
                       static_cast<double>(buckets_[i]);
-        return lo + frac * (hi - lo);
+        // Interpolation never needs to leave the observed range.
+        return std::clamp(lo + frac * (hi - lo),
+                          static_cast<double>(count_ ? min_ : 0),
+                          static_cast<double>(max_));
       }
       seen += buckets_[i];
     }
@@ -90,7 +97,8 @@ class Histogram {
   std::array<std::uint64_t, 64> buckets_{};
 };
 
-/// Named metric registry; one per node / per bench run.
+/// Named metric registry; one per node / per bench run. (For the
+/// cluster-wide registry-of-registries see MetricsRegistry below.)
 class MetricRegistry {
  public:
   Counter& counter(const std::string& name) { return counters_[name]; }
@@ -111,6 +119,90 @@ class MetricRegistry {
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Histogram> histograms_;
+};
+
+/// Cluster-wide metrics registry: names each per-node MetricRegistry with
+/// a stable label ("node-100", "client-1000", ...) and renders
+/// deterministic aggregate views. Output ordering is (metric name, label),
+/// both lexicographic, so dumps from identically-seeded runs are
+/// byte-identical.
+class MetricsRegistry {
+ public:
+  /// The registry must outlive this aggregator.
+  void attach(std::string label, const MetricRegistry& reg) {
+    members_.emplace_back(std::move(label), &reg);
+  }
+
+  /// Label-free sum of every attached registry.
+  [[nodiscard]] MetricRegistry merged() const {
+    MetricRegistry out;
+    for (const auto& [label, reg] : members_) {
+      for (const auto& [name, c] : reg->counters()) {
+        out.counter(name).add(c.value());
+      }
+      for (const auto& [name, h] : reg->histograms()) {
+        out.histogram(name).merge(h);
+      }
+    }
+    return out;
+  }
+
+  /// Prometheus-style text exposition. Counters emit one sample per
+  /// label; histograms emit p50/p95/p99 quantiles plus _sum and _count
+  /// (summary convention).
+  [[nodiscard]] std::string prometheus_text() const {
+    std::map<std::string, std::map<std::string, const Counter*>> counters;
+    std::map<std::string, std::map<std::string, const Histogram*>> histos;
+    for (const auto& [label, reg] : members_) {
+      for (const auto& [name, c] : reg->counters()) {
+        counters[name][label] = &c;
+      }
+      for (const auto& [name, h] : reg->histograms()) {
+        histos[name][label] = &h;
+      }
+    }
+    std::string out;
+    char buf[128];
+    for (const auto& [name, by_label] : counters) {
+      const std::string metric = prometheus_name(name);
+      out += "# TYPE " + metric + " counter\n";
+      for (const auto& [label, c] : by_label) {
+        std::snprintf(buf, sizeof buf, " %llu\n",
+                      static_cast<unsigned long long>(c->value()));
+        out += metric + "{node=\"" + label + "\"}" + buf;
+      }
+    }
+    for (const auto& [name, by_label] : histos) {
+      const std::string metric = prometheus_name(name);
+      out += "# TYPE " + metric + " summary\n";
+      for (const auto& [label, h] : by_label) {
+        for (const double q : {0.5, 0.95, 0.99}) {
+          std::snprintf(buf, sizeof buf, ",quantile=\"%g\"} %.6g\n", q,
+                        h->quantile(q));
+          out += metric + "{node=\"" + label + "\"" + buf;
+        }
+        std::snprintf(buf, sizeof buf, " %llu\n",
+                      static_cast<unsigned long long>(h->sum()));
+        out += metric + "_sum{node=\"" + label + "\"}" + buf;
+        std::snprintf(buf, sizeof buf, " %llu\n",
+                      static_cast<unsigned long long>(h->count()));
+        out += metric + "_count{node=\"" + label + "\"}" + buf;
+      }
+    }
+    return out;
+  }
+
+ private:
+  /// "coordinator.read_latency_us" → "sedna_coordinator_read_latency_us".
+  static std::string prometheus_name(const std::string& name) {
+    std::string out = "sedna_" + name;
+    for (char& c : out) {
+      if (c == '.' || c == '-') c = '_';
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, const MetricRegistry*>> members_;
 };
 
 }  // namespace sedna

@@ -1,0 +1,189 @@
+// End-to-end request tracing over the simulated cluster.
+//
+// Every sim::Message carries a (TraceId, SpanId) pair; hosts propagate the
+// pair client → coordinator → replicas → ZooKeeper and record spans (name,
+// node, start/end sim-time, status, parent) into one Tracer per
+// simulation. Because all timestamps are virtual clock readings and span
+// ids are allocated in event order, two identically-seeded runs produce
+// byte-identical dumps — traces are assertable test artifacts, not just
+// operator output.
+//
+// The tracer is disabled by default: benches and long-running simulations
+// pay nothing (begin() returns span id 0 and records nothing). Tests and
+// the failure drill enable it around the window they want to explain.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sedna {
+
+using TraceId = std::uint64_t;
+using SpanId = std::uint64_t;
+
+/// The pair stamped on messages and carried by hosts while they work on
+/// behalf of a request. trace_id 0 means "no active trace".
+struct TraceContext {
+  TraceId trace_id = 0;
+  SpanId span_id = 0;
+
+  [[nodiscard]] bool active() const { return trace_id != 0; }
+};
+
+struct Span {
+  TraceId trace_id = 0;
+  SpanId id = 0;
+  /// Parent span id; 0 for a trace's root span.
+  SpanId parent = 0;
+  std::string name;
+  /// Node the work ran on (an RPC span lives on the *caller*).
+  NodeId node = kInvalidNode;
+  SimTime start_us = 0;
+  SimTime end_us = 0;
+  /// Outcome ("ok", "timeout", ...); empty while the span is open.
+  std::string status;
+
+  [[nodiscard]] bool finished() const { return !status.empty(); }
+};
+
+class Tracer {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Opens a new trace with a root span. Returns {0,0} while disabled.
+  TraceContext start_trace(const std::string& name, NodeId node,
+                           SimTime now) {
+    if (!enabled_) return {};
+    const TraceId trace = next_trace_++;
+    return TraceContext{trace, add_span(trace, 0, name, node, now)};
+  }
+
+  /// Opens a child span under `parent`. Returns 0 (a no-op id) while
+  /// disabled or when the parent context carries no trace.
+  SpanId begin(const TraceContext& parent, const std::string& name,
+               NodeId node, SimTime now) {
+    if (!enabled_ || !parent.active()) return 0;
+    return add_span(parent.trace_id, parent.span_id, name, node, now);
+  }
+
+  /// Closes a span with an outcome. Safe on id 0 and on already-closed
+  /// spans (first close wins, so a response beats its raced timeout).
+  void end(SpanId span, SimTime now, const std::string& status = "ok") {
+    if (span == 0 || span > spans_.size()) return;
+    Span& s = spans_[span - 1];
+    if (s.finished()) return;
+    s.end_us = now;
+    s.status = status;
+  }
+
+  /// Zero-duration annotation (e.g. a network drop).
+  void instant(const TraceContext& parent, const std::string& name,
+               NodeId node, SimTime now, const std::string& status = "ok") {
+    end(begin(parent, name, node, now), now, status);
+  }
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] TraceId last_trace_id() const { return next_trace_ - 1; }
+  void clear() { spans_.clear(); }
+
+  /// Deterministic JSON dump: one object per span, in span-id order.
+  [[nodiscard]] std::string dump_json() const {
+    std::string out = "[";
+    char buf[160];
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+      const Span& s = spans_[i];
+      std::snprintf(buf, sizeof buf,
+                    "%s\n{\"trace\":%llu,\"span\":%llu,\"parent\":%llu,",
+                    i == 0 ? "" : ",",
+                    static_cast<unsigned long long>(s.trace_id),
+                    static_cast<unsigned long long>(s.id),
+                    static_cast<unsigned long long>(s.parent));
+      out += buf;
+      out += "\"name\":\"" + s.name + "\",";
+      std::snprintf(buf, sizeof buf,
+                    "\"node\":%u,\"start_us\":%llu,\"end_us\":%llu,", s.node,
+                    static_cast<unsigned long long>(s.start_us),
+                    static_cast<unsigned long long>(s.end_us));
+      out += buf;
+      out += "\"status\":\"" + (s.finished() ? s.status : "open") + "\"}";
+    }
+    out += "\n]\n";
+    return out;
+  }
+
+  /// ASCII span tree for one trace; times are relative to the root span.
+  [[nodiscard]] std::string render_tree(TraceId trace) const {
+    // Children sorted by span id == start order (event order).
+    std::map<SpanId, std::vector<const Span*>> children;
+    const Span* root = nullptr;
+    for (const Span& s : spans_) {
+      if (s.trace_id != trace) continue;
+      if (s.parent == 0) root = &s;
+      children[s.parent].push_back(&s);
+    }
+    std::string out;
+    if (root != nullptr) {
+      render_node(*root, children, root->start_us, 0, out);
+    }
+    return out;
+  }
+
+  /// Every recorded trace, in trace-id order.
+  [[nodiscard]] std::string render_all() const {
+    std::string out;
+    for (TraceId t = 1; t < next_trace_; ++t) {
+      char head[48];
+      std::snprintf(head, sizeof head, "--- trace %llu ---\n",
+                    static_cast<unsigned long long>(t));
+      out += head;
+      out += render_tree(t);
+    }
+    return out;
+  }
+
+ private:
+  SpanId add_span(TraceId trace, SpanId parent, const std::string& name,
+                  NodeId node, SimTime now) {
+    const SpanId id = next_span_++;
+    spans_.push_back(Span{trace, id, parent, name, node, now, 0, {}});
+    return id;
+  }
+
+  void render_node(const Span& s,
+                   const std::map<SpanId, std::vector<const Span*>>& children,
+                   SimTime origin, int depth, std::string& out) const {
+    char buf[64];
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += s.name;
+    std::snprintf(buf, sizeof buf, " @%u [+%llu us", s.node,
+                  static_cast<unsigned long long>(s.start_us - origin));
+    out += buf;
+    if (s.finished()) {
+      std::snprintf(buf, sizeof buf, ", %llu us] %s\n",
+                    static_cast<unsigned long long>(s.end_us - s.start_us),
+                    s.status.c_str());
+    } else {
+      std::snprintf(buf, sizeof buf, "] open\n");
+    }
+    out += buf;
+    const auto it = children.find(s.id);
+    if (it == children.end()) return;
+    for (const Span* child : it->second) {
+      render_node(*child, children, origin, depth + 1, out);
+    }
+  }
+
+  bool enabled_ = false;
+  TraceId next_trace_ = 1;
+  SpanId next_span_ = 1;
+  /// Dense by id: spans_[id - 1], so end() is O(1).
+  std::vector<Span> spans_;
+};
+
+}  // namespace sedna

@@ -11,6 +11,13 @@
 // empty payload when the peer crashed, the network dropped the message, or
 // the peer simply never answered. This is precisely the failure evidence
 // the paper's read/write paths act on (Section III.C).
+//
+// Tracing: each host carries a current TraceContext. Incoming requests set
+// it from the message; every call() opens an RPC span under it (ended with
+// "ok"/"timeout"/"crashed") and stamps the outgoing message so the
+// receiver's spans parent correctly; RPC callbacks run under the context
+// saved at call time, so a whole async quorum exchange stays on one span
+// tree. All of it is a no-op while the simulation's Tracer is disabled.
 #pragma once
 
 #include <cstdint>
@@ -71,7 +78,12 @@ class Host {
   void crash() {
     alive_ = false;
     net_.set_node_up(id_, false);
+    for (auto& [rpc_id, pending] : pending_) {
+      pending.timeout.cancel();
+      tracer().end(pending.rpc_span, now(), "crashed");
+    }
     pending_.clear();
+    trace_ctx_ = {};
     on_crash();
   }
   void restart() {
@@ -104,32 +116,77 @@ class Host {
   void call_with_timeout(NodeId to, MessageType type, std::string payload,
                          SimDuration timeout, RpcCallback cb) {
     const std::uint64_t rpc_id = next_rpc_id_++;
+    const TraceContext caller_ctx = trace_ctx_;
+    const SpanId rpc_span =
+        tracer().begin(caller_ctx, rpc_span_name(type), id_, now());
     auto timer = sim().schedule(timeout, [this, live = live_, rpc_id]() {
       if (!*live) return;
       auto it = pending_.find(rpc_id);
       if (it == pending_.end()) return;
-      RpcCallback cb = std::move(it->second.callback);
+      Pending pending = std::move(it->second);
       pending_.erase(it);
-      cb(Status::Timeout(), {});
+      tracer().end(pending.rpc_span, now(), "timeout");
+      trace_ctx_ = pending.ctx;
+      pending.callback(Status::Timeout(), {});
     });
-    pending_.emplace(rpc_id, Pending{std::move(cb), timer});
-    net_.send(Message{id_, to, type, rpc_id, /*is_response=*/false,
-                      std::move(payload)});
+    pending_.emplace(rpc_id,
+                     Pending{std::move(cb), timer, caller_ctx, rpc_span});
+    Message msg{id_, to, type, rpc_id, /*is_response=*/false,
+                std::move(payload)};
+    msg.trace_id = caller_ctx.trace_id;
+    msg.span_id = rpc_span != 0 ? rpc_span : caller_ctx.span_id;
+    net_.send(std::move(msg));
   }
 
   /// One-way message; no response expected.
   void send_oneway(NodeId to, MessageType type, std::string payload) {
-    net_.send(Message{id_, to, type, /*rpc_id=*/0, /*is_response=*/false,
-                      std::move(payload)});
+    Message msg{id_, to, type, /*rpc_id=*/0, /*is_response=*/false,
+                std::move(payload)};
+    msg.trace_id = trace_ctx_.trace_id;
+    msg.span_id = trace_ctx_.span_id;
+    net_.send(std::move(msg));
   }
 
   /// Replies to a request received in on_message().
   void reply(const Message& request, std::string payload) {
-    net_.send(Message{id_, request.from, request.type, request.rpc_id,
-                      /*is_response=*/true, std::move(payload)});
+    Message msg{id_, request.from, request.type, request.rpc_id,
+                /*is_response=*/true, std::move(payload)};
+    msg.trace_id = trace_ctx_.trace_id;
+    msg.span_id = trace_ctx_.span_id;
+    net_.send(std::move(msg));
   }
 
   [[nodiscard]] std::size_t pending_rpcs() const { return pending_.size(); }
+
+  // ---- tracing ----------------------------------------------------------
+  [[nodiscard]] Tracer& tracer() const { return sim().tracer(); }
+  [[nodiscard]] TraceContext trace_context() const { return trace_ctx_; }
+  void set_trace_context(TraceContext ctx) { trace_ctx_ = ctx; }
+
+  /// Opens a fresh trace rooted at this host and makes it current.
+  TraceContext begin_trace(const std::string& name) {
+    trace_ctx_ = tracer().start_trace(name, id_, now());
+    return trace_ctx_;
+  }
+  /// Child span of the current context. Does not change the context.
+  SpanId begin_span(const std::string& name) {
+    return tracer().begin(trace_ctx_, name, id_, now());
+  }
+  /// Makes `span` the current context; returns the previous context so
+  /// the caller can restore it after issuing nested work.
+  TraceContext enter_span(SpanId span) {
+    const TraceContext prev = trace_ctx_;
+    if (span != 0) trace_ctx_ = TraceContext{prev.trace_id, span};
+    return prev;
+  }
+  void end_span(SpanId span, const std::string& status = "ok") {
+    tracer().end(span, now(), status);
+  }
+  /// Zero-duration annotation under the current context.
+  void instant_span(const std::string& name,
+                    const std::string& status = "ok") {
+    tracer().instant(trace_ctx_, name, id_, now(), status);
+  }
 
  protected:
   /// Handles a request or one-way message. Responses are routed to RPC
@@ -138,6 +195,12 @@ class Host {
 
   virtual void on_crash() {}
   virtual void on_restart() {}
+
+  /// Name given to the span opened around an outgoing RPC. Subclasses
+  /// that know their protocol override this with readable names.
+  [[nodiscard]] virtual std::string rpc_span_name(MessageType type) const {
+    return "rpc.t" + std::to_string(type);
+  }
 
   /// CPU cost model; override for per-type costs.
   virtual SimDuration service_cost(const Message& msg) {
@@ -154,18 +217,25 @@ class Host {
   struct Pending {
     RpcCallback callback;
     TimerHandle timeout;
+    /// Caller's trace context at call time; restored for the callback.
+    TraceContext ctx;
+    /// Span covering the request/response round trip (0 when untraced).
+    SpanId rpc_span = 0;
   };
 
   void dispatch(const Message& msg) {
     if (msg.is_response) {
       auto it = pending_.find(msg.rpc_id);
       if (it == pending_.end()) return;  // response raced its own timeout
-      RpcCallback cb = std::move(it->second.callback);
-      it->second.timeout.cancel();
+      Pending pending = std::move(it->second);
+      pending.timeout.cancel();
       pending_.erase(it);
-      cb(Status::Ok(), msg.payload);
+      tracer().end(pending.rpc_span, now(), "ok");
+      trace_ctx_ = pending.ctx;
+      pending.callback(Status::Ok(), msg.payload);
       return;
     }
+    trace_ctx_ = TraceContext{msg.trace_id, msg.span_id};
     on_message(msg);
   }
 
@@ -179,6 +249,7 @@ class Host {
   SimTime cpu_free_ = 0;
   std::uint64_t next_rpc_id_ = 1;
   std::unordered_map<std::uint64_t, Pending> pending_;
+  TraceContext trace_ctx_;
 };
 
 }  // namespace sedna::sim

@@ -26,6 +26,13 @@ struct Message {
   bool is_response = false;
   /// Serialized payload (BinaryWriter/BinaryReader framing).
   std::string payload;
+  /// Distributed-tracing context: the sender's trace and the span this
+  /// message descends from (for a request, the caller's RPC span). Zero
+  /// when tracing is off or the sender holds no active trace. The 16
+  /// bytes ride inside the modeled fixed header below, so carrying a
+  /// trace changes no timing.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 
   [[nodiscard]] std::size_t wire_size() const {
     // Headers modeled as a fixed 32-byte cost, roughly an Ethernet+IP+TCP

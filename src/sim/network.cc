@@ -26,6 +26,14 @@ SimDuration Network::delivery_delay(const Message& msg) {
   return total < 1.0 ? 1 : static_cast<SimDuration>(total);
 }
 
+void Network::drop(const Message& msg, const char* why) {
+  ++dropped_;
+  // A traced message that vanishes leaves a zero-duration span on the
+  // receiver's side of the tree — the trace explains the later timeout.
+  sim_.tracer().instant(TraceContext{msg.trace_id, msg.span_id}, "net.drop",
+                        msg.to, sim_.now(), why);
+}
+
 void Network::send(Message msg) {
   ++sent_;
   bytes_ += msg.wire_size();
@@ -33,14 +41,17 @@ void Network::send(Message msg) {
   // Loopback messages bypass the wire but still cost the receiver CPU.
   const bool loopback = msg.from == msg.to;
 
-  if (down_.contains(msg.from) || down_.contains(msg.to) ||
-      (!loopback && partitions_.contains(edge(msg.from, msg.to)))) {
-    ++dropped_;
+  if (down_.contains(msg.from) || down_.contains(msg.to)) {
+    drop(msg, "node_down");
+    return;
+  }
+  if (!loopback && partitions_.contains(edge(msg.from, msg.to))) {
+    drop(msg, "partitioned");
     return;
   }
   if (!loopback && config_.loss_prob > 0.0 &&
       sim_.rng().next_bool(config_.loss_prob)) {
-    ++dropped_;
+    drop(msg, "loss");
     return;
   }
 
@@ -49,12 +60,12 @@ void Network::send(Message msg) {
     // Re-check liveness at delivery time: the receiver may have crashed
     // while the message was in flight.
     if (down_.contains(m.to)) {
-      ++dropped_;
+      drop(m, "node_down");
       return;
     }
     auto it = hosts_.find(m.to);
     if (it == hosts_.end()) {
-      ++dropped_;
+      drop(m, "no_host");
       return;
     }
     ++delivered_;

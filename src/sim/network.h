@@ -82,6 +82,9 @@ class Network {
     return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   }
 
+  /// Counts the drop and, when the message is traced, records it.
+  void drop(const Message& msg, const char* why);
+
   [[nodiscard]] SimDuration delivery_delay(const Message& msg);
 
   Simulation& sim_;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/trace.h"
 #include "common/types.h"
 
 namespace sedna::sim {
@@ -44,6 +45,8 @@ class Simulation {
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+  /// Per-simulation span collector (disabled by default; see trace.h).
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
 
   /// Schedules fn to run `delay` microseconds from now. Returns a handle
   /// that can cancel the event before it fires.
@@ -135,6 +138,7 @@ class Simulation {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   Rng rng_;
+  Tracer tracer_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

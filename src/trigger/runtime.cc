@@ -55,8 +55,10 @@ TriggerRuntime::~TriggerRuntime() { stop(); }
 void TriggerRuntime::start() {
   if (started_) return;
   started_ = true;
-  scan_timer_ = node_.sim().schedule_periodic(config_.scan_interval,
-                                              [this] { scan(); });
+  scan_timer_ = node_.sim().schedule_periodic(config_.scan_interval, [this] {
+    node_.set_trace_context({});
+    scan();
+  });
 }
 
 void TriggerRuntime::stop() {

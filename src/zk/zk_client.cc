@@ -4,11 +4,45 @@
 
 namespace sedna::zk {
 
+namespace {
+
+const char* zk_op_span_name(ClientRequest::Op op) {
+  switch (op) {
+    case ClientRequest::Op::kConnect: return "zk.connect";
+    case ClientRequest::Op::kCreate: return "zk.create";
+    case ClientRequest::Op::kGet: return "zk.get";
+    case ClientRequest::Op::kSet: return "zk.set";
+    case ClientRequest::Op::kDelete: return "zk.delete";
+    case ClientRequest::Op::kExists: return "zk.exists";
+    case ClientRequest::Op::kChildren: return "zk.children";
+    default: return "zk.op";
+  }
+}
+
+}  // namespace
+
 void ZkClient::submit(ClientRequest req, int attempt,
                       std::function<void(const Result<ClientReply>&)> done) {
   if (config_.ensemble.empty()) {
     done(Status::Unavailable("no ensemble members"));
     return;
+  }
+  // Span over the whole logical operation (member failover included);
+  // the per-attempt RPC spans opened by host_.call nest underneath.
+  TraceContext op_ctx_restore = host_.trace_context();
+  bool restore = false;
+  if (attempt == 0) {
+    if (const SpanId span = host_.begin_span(zk_op_span_name(req.op))) {
+      op_ctx_restore = host_.enter_span(span);
+      restore = true;
+      done = [this, span, inner = std::move(done)](
+                 const Result<ClientReply>& rep) {
+        host_.end_span(span, rep.ok() && rep->status == StatusCode::kOk
+                                 ? "ok"
+                                 : "error");
+        inner(rep);
+      };
+    }
   }
   const NodeId member =
       config_.ensemble[member_cursor_ % config_.ensemble.size()];
@@ -34,6 +68,7 @@ void ZkClient::submit(ClientRequest req, int attempt,
         }
         submit(std::move(req), attempt + 1, std::move(done));
       });
+  if (restore) host_.set_trace_context(op_ctx_restore);
 }
 
 void ZkClient::connect(ConnectCallback cb) {
@@ -61,6 +96,9 @@ void ZkClient::start_pings() {
   ping_timer_ = host_.sim().schedule_periodic(
       config_.ping_interval, [this] {
         if (session_id_ == 0 || !host_.alive()) return;
+        // Heartbeats are background work: never attribute them to
+        // whatever trace the host last dispatched.
+        host_.set_trace_context({});
         BinaryWriter w;
         w.put_u64(session_id_);
         const NodeId member =

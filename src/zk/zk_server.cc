@@ -17,9 +17,16 @@ ZkServer::ZkServer(sim::Network& net, NodeId id, ZkServerConfig config)
 }
 
 void ZkServer::start() {
-  sim().schedule_periodic(config_.peer_ping_interval, [this] { peer_tick(); });
-  sim().schedule_periodic(config_.session_check_interval,
-                          [this] { session_tick(); });
+  // Ensemble ticks are background work; never run them under a stale
+  // trace context left by the last dispatched client request.
+  sim().schedule_periodic(config_.peer_ping_interval, [this] {
+    set_trace_context({});
+    peer_tick();
+  });
+  sim().schedule_periodic(config_.session_check_interval, [this] {
+    set_trace_context({});
+    session_tick();
+  });
   was_leader_ = is_leader();
 }
 

@@ -12,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/types.h"
 
 namespace sedna {
@@ -392,6 +393,139 @@ TEST(Metrics, RegistryIsNameKeyed) {
   EXPECT_EQ(reg.counter("x").value(), 5u);
   EXPECT_EQ(reg.histogram("lat").count(), 1u);
   EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+// Exact pinned quantile values. Bucket i covers [2^i, 2^(i+1)); the
+// estimate interpolates target rank within the bucket and clamps to the
+// observed [min, max]. In particular bucket 0's lower bound is 1.0, not
+// 0.0 — a histogram of all-equal small values must not report a quantile
+// below the smallest recorded value.
+TEST(Metrics, HistogramQuantilePinnedValues) {
+  Histogram ones;
+  for (int i = 0; i < 4; ++i) ones.record(1);
+  EXPECT_DOUBLE_EQ(ones.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ones.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(ones.quantile(1.0), 1.0);
+
+  Histogram tens;  // 16..25: all land in bucket [16, 32)
+  for (std::uint64_t v = 16; v <= 25; ++v) tens.record(v);
+  EXPECT_DOUBLE_EQ(tens.quantile(0.0), 16.0);
+  // target rank 4 of 10 in-bucket → 16 + 0.4 * 16.
+  EXPECT_DOUBLE_EQ(tens.quantile(0.5), 22.4);
+  // Interpolation would reach 30.4; clamped to the observed max.
+  EXPECT_DOUBLE_EQ(tens.quantile(1.0), 25.0);
+
+  Histogram skewed;  // {1, 1, 100}: median interpolates inside bucket 0
+  skewed.record(1);
+  skewed.record(1);
+  skewed.record(100);
+  EXPECT_DOUBLE_EQ(skewed.quantile(0.5), 1.5);
+
+  Histogram spread;  // {2, 2, 4, 8}: rank 1 of 2 in bucket [2, 4)
+  for (std::uint64_t v : {2, 2, 4, 8}) spread.record(v);
+  EXPECT_DOUBLE_EQ(spread.quantile(0.5), 3.0);
+
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(Metrics, MetricsRegistryMergesAndRendersPrometheusText) {
+  MetricRegistry a, b;
+  a.counter("ops").add(3);
+  b.counter("ops").add(4);
+  b.counter("client.write_retries").add(1);
+  for (std::uint64_t v = 16; v <= 25; ++v) a.histogram("lat").record(v);
+
+  MetricsRegistry registry;
+  registry.attach("node-1", a);
+  registry.attach("node-2", b);
+
+  const MetricRegistry merged = registry.merged();
+  EXPECT_EQ(merged.counters().at("ops").value(), 7u);
+  EXPECT_EQ(merged.counters().at("client.write_retries").value(), 1u);
+  EXPECT_EQ(merged.histograms().at("lat").count(), 10u);
+
+  const std::string text = registry.prometheus_text();
+  // Counters: one TYPE header, one labeled sample per member, and metric
+  // names sanitized to the Prometheus charset.
+  EXPECT_NE(text.find("# TYPE sedna_ops counter\n"
+                      "sedna_ops{node=\"node-1\"} 3\n"
+                      "sedna_ops{node=\"node-2\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sedna_client_write_retries{node=\"node-2\"} 1\n"),
+            std::string::npos);
+  // Histograms render as summaries: pinned quantiles plus sum/count.
+  EXPECT_NE(text.find("# TYPE sedna_lat summary\n"), std::string::npos);
+  EXPECT_NE(text.find("sedna_lat{node=\"node-1\",quantile=\"0.5\"} 22.4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sedna_lat{node=\"node-1\",quantile=\"0.99\"} 25\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sedna_lat_sum{node=\"node-1\"} 205\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sedna_lat_count{node=\"node-1\"} 10\n"),
+            std::string::npos);
+}
+
+// ---- Tracing ----------------------------------------------------------------
+
+TEST(Trace, DisabledTracerIsFreeAndRecordsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  const TraceContext root = t.start_trace("op", 1, 10);
+  EXPECT_FALSE(root.active());
+  EXPECT_EQ(t.begin(root, "child", 1, 11), 0u);
+  t.end(0, 12);  // safe no-op
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(Trace, SpanTreeRecordsParentageAndOutcomes) {
+  Tracer t;
+  t.set_enabled(true);
+  const TraceContext root = t.start_trace("client.op", 1000, 100);
+  ASSERT_TRUE(root.active());
+  const SpanId rpc = t.begin(root, "rpc.call", 1000, 105);
+  const SpanId remote =
+      t.begin(TraceContext{root.trace_id, rpc}, "server.work", 100, 120);
+  t.end(remote, 140);
+  t.end(rpc, 150, "ok");
+  t.instant(root, "note", 1000, 155, "dropped");
+  t.end(root.span_id, 160);
+
+  ASSERT_EQ(t.spans().size(), 4u);
+  const auto& spans = t.spans();
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].parent, root.span_id);
+  EXPECT_EQ(spans[2].parent, rpc);
+  EXPECT_EQ(spans[2].node, 100u);
+  EXPECT_EQ(spans[3].status, "dropped");
+  EXPECT_EQ(spans[3].start_us, spans[3].end_us);
+
+  // First close wins: a raced second close must not overwrite.
+  t.end(rpc, 999, "timeout");
+  EXPECT_EQ(spans[1].status, "ok");
+  EXPECT_EQ(spans[1].end_us, 150u);
+
+  const std::string tree = t.render_tree(root.trace_id);
+  EXPECT_NE(tree.find("client.op @1000 [+0 us, 60 us] ok"),
+            std::string::npos);
+  EXPECT_NE(tree.find("  rpc.call @1000 [+5 us, 45 us] ok"),
+            std::string::npos);
+  EXPECT_NE(tree.find("    server.work @100 [+20 us, 20 us] ok"),
+            std::string::npos);
+
+  const std::string json = t.dump_json();
+  EXPECT_NE(json.find("\"name\":\"rpc.call\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"dropped\""), std::string::npos);
+}
+
+TEST(Trace, OpenSpansRenderAsOpen) {
+  Tracer t;
+  t.set_enabled(true);
+  const TraceContext root = t.start_trace("op", 1, 10);
+  (void)t.begin(root, "stuck", 1, 12);
+  EXPECT_NE(t.render_tree(root.trace_id).find("stuck @1 [+2 us] open"),
+            std::string::npos);
+  EXPECT_NE(t.dump_json().find("\"status\":\"open\""), std::string::npos);
 }
 
 }  // namespace

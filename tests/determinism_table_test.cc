@@ -3,6 +3,7 @@
 // memcached-surface ops (append/prepend).
 #include <gtest/gtest.h>
 
+#include "cluster/admin.h"
 #include "cluster/sedna_cluster.h"
 #include "cluster/table.h"
 #include "store/local_store.h"
@@ -70,6 +71,53 @@ TEST(Determinism, DifferentSeedsDiverge) {
   const RunTrace b = run_workload(2);
   // Jitter differs, so message timings and timestamps must differ.
   EXPECT_NE(a.read_timestamps, b.read_timestamps);
+}
+
+// ---- observability determinism ------------------------------------------------
+//
+// The tracing + metrics layer must not merely leave behaviour unchanged —
+// its own dumps are part of the deterministic surface. For a fixed seed,
+// the Prometheus text and the JSON span dump must be byte-identical
+// across runs, including a crash, client retries and read repair.
+
+struct ObservabilityDump {
+  std::string metrics;
+  std::string traces;
+};
+
+ObservabilityDump run_traced(std::uint64_t seed) {
+  SednaClusterConfig cfg;
+  cfg.zk_members = 3;
+  cfg.data_nodes = 5;
+  cfg.cluster.total_vnodes = 64;
+  cfg.seed = seed;
+  SednaCluster cluster(cfg);
+  EXPECT_TRUE(cluster.boot().ok());
+  auto& client = cluster.make_client();
+  cluster.sim().tracer().set_enabled(true);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(cluster.write_latest(client, "obs-" + std::to_string(i),
+                                     "v" + std::to_string(i)).ok());
+  }
+  cluster.crash_node(1);
+  for (int i = 0; i < 30; ++i) {
+    (void)cluster.read_latest(client, "obs-" + std::to_string(i));
+  }
+  cluster.run_for(sim_sec(1));
+  ClusterInspector inspector(cluster);
+  return {inspector.metrics_text(), inspector.trace_json()};
+}
+
+TEST(Determinism, ObservabilityDumpsAreByteIdenticalAcrossSeedSweep) {
+  for (std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
+    const ObservabilityDump a = run_traced(seed);
+    const ObservabilityDump b = run_traced(seed);
+    EXPECT_EQ(a.metrics, b.metrics) << "metrics diverged for seed " << seed;
+    EXPECT_EQ(a.traces, b.traces) << "traces diverged for seed " << seed;
+    // The dumps are non-trivial: real counters and real spans.
+    EXPECT_NE(a.metrics.find("sedna_client_writes"), std::string::npos);
+    EXPECT_NE(a.traces.find("client.write_latest"), std::string::npos);
+  }
 }
 
 // ---- Table / Dataset wrappers -------------------------------------------------

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds the full test suite under AddressSanitizer + UBSan and runs it.
+# Usage: tests/run_sanitized.sh [extra ctest args...]
+# Uses a separate build tree (build-asan) so the regular build stays fast.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DSEDNA_SANITIZE=ON
+cmake --build "${build_dir}" -j "$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+cd "${build_dir}"
+ctest --output-on-failure -j "$(nproc)" "$@"

@@ -1,0 +1,255 @@
+// End-to-end tracing: span trees recorded for client operations must have
+// the right shape — correct parentage across client → coordinator →
+// replicas, and the failure machinery (replica timeout, client retry,
+// read repair) visible as spans when a replica set is degraded.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cluster/admin.h"
+#include "cluster/sedna_cluster.h"
+#include "common/trace.h"
+
+namespace sedna::cluster {
+namespace {
+
+SednaClusterConfig small_config(std::uint64_t seed) {
+  SednaClusterConfig cfg;
+  cfg.zk_members = 3;
+  cfg.data_nodes = 6;
+  cfg.cluster.total_vnodes = 128;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Spans of one trace, in span-id (event) order.
+std::vector<Span> trace_spans(const Tracer& tracer, TraceId trace) {
+  std::vector<Span> out;
+  for (const Span& s : tracer.spans()) {
+    if (s.trace_id == trace) out.push_back(s);
+  }
+  return out;
+}
+
+const Span* find_span(const std::vector<Span>& spans,
+                      const std::string& name) {
+  for (const Span& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Span*> children_of(const std::vector<Span>& spans,
+                                     SpanId parent) {
+  std::vector<const Span*> out;
+  for (const Span& s : spans) {
+    if (s.parent == parent) out.push_back(&s);
+  }
+  return out;
+}
+
+TEST(Tracing, HealthyWriteAndReadSpanTrees) {
+  SednaCluster cluster(small_config(42));
+  ASSERT_TRUE(cluster.boot().ok());
+  auto& client = cluster.make_client();
+  Tracer& tracer = cluster.sim().tracer();
+  tracer.set_enabled(true);
+
+  ASSERT_TRUE(cluster.write_latest(client, "traced", "v1").ok());
+
+  // ---- write trace: client root → attempt → RPC → coordinator fan-out.
+  {
+    const auto& all = tracer.spans();
+    ASSERT_FALSE(all.empty());
+    const TraceId trace = all.front().trace_id;
+    const auto spans = trace_spans(tracer, trace);
+
+    const Span* root = find_span(spans, "client.write_latest");
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->parent, 0u);
+    EXPECT_EQ(root->node, client.id());
+    EXPECT_EQ(root->status, "ok");
+
+    const Span* attempt = find_span(spans, "client.write.attempt#0");
+    ASSERT_NE(attempt, nullptr);
+    EXPECT_EQ(attempt->parent, root->id);
+    EXPECT_EQ(attempt->status, "ok");
+
+    const Span* rpc = find_span(spans, "rpc.client_write");
+    ASSERT_NE(rpc, nullptr);
+    EXPECT_EQ(rpc->parent, attempt->id);
+    EXPECT_EQ(rpc->node, client.id());  // RPC span lives on the caller
+    EXPECT_EQ(rpc->status, "ok");
+
+    const Span* coord = find_span(spans, "coord.write");
+    ASSERT_NE(coord, nullptr);
+    EXPECT_EQ(coord->parent, rpc->id);
+    EXPECT_NE(coord->node, client.id());
+    EXPECT_EQ(coord->status, "ok");
+
+    // N=3 replicas: the coordinator applies locally and calls the other
+    // two; each remote apply shows up as a replica.write on that node.
+    const auto coord_kids = children_of(spans, coord->id);
+    int local = 0, remote = 0;
+    for (const Span* k : coord_kids) {
+      if (k->name == "coord.local_write") ++local;
+      if (k->name == "rpc.replica_write") ++remote;
+    }
+    EXPECT_EQ(local, 1);
+    EXPECT_EQ(remote, 2);
+    int applied = 0;
+    for (const Span& s : spans) {
+      if (s.name == "replica.write") {
+        ++applied;
+        EXPECT_EQ(s.status, "ok");
+      }
+    }
+    EXPECT_EQ(applied, 2);
+
+    // The whole exchange is causally ordered on the virtual clock.
+    EXPECT_LE(root->start_us, coord->start_us);
+    EXPECT_LE(coord->end_us, root->end_us);
+  }
+
+  // ---- read trace: same shape on the read path.
+  const TraceId before_read = tracer.last_trace_id();
+  auto got = cluster.read_latest(client, "traced");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->value, "v1");
+  {
+    const auto spans = trace_spans(tracer, before_read + 1);
+    const Span* root = find_span(spans, "client.read_latest");
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->status, "ok");
+    const Span* attempt = find_span(spans, "client.read.attempt#0");
+    ASSERT_NE(attempt, nullptr);
+    EXPECT_EQ(attempt->status, "ok");
+    const Span* coord = find_span(spans, "coord.read");
+    ASSERT_NE(coord, nullptr);
+    EXPECT_EQ(coord->status, "ok");
+    // Healthy cluster: no retry attempt, no repair, no suspicion.
+    EXPECT_EQ(find_span(spans, "client.read.attempt#1"), nullptr);
+    EXPECT_EQ(find_span(spans, "coord.read_repair"), nullptr);
+    EXPECT_EQ(find_span(spans, "failure.suspect"), nullptr);
+  }
+}
+
+TEST(Tracing, CrashedReplicaReadShowsTimeoutRetryAndRepair) {
+  SednaCluster cluster(small_config(7));
+  ASSERT_TRUE(cluster.boot().ok());
+  auto& client = cluster.make_client();
+
+  // Find a key whose three replicas are distinct nodes.
+  const auto& table = client.metadata().table();
+  std::string key;
+  std::vector<NodeId> replicas;
+  for (int i = 0; i < 1000; ++i) {
+    std::string candidate = "rkey-" + std::to_string(i);
+    auto reps = table.replicas_for_key(candidate);
+    if (reps.size() == 3 && reps[0] != reps[1] && reps[1] != reps[2] &&
+        reps[0] != reps[2]) {
+      key = std::move(candidate);
+      replicas = std::move(reps);
+      break;
+    }
+  }
+  ASSERT_FALSE(key.empty());
+  auto index_of = [&](NodeId id) {
+    for (std::size_t i = 0; i < cluster.data_node_count(); ++i) {
+      if (cluster.node(i).id() == id) return i;
+    }
+    return static_cast<std::size_t>(-1);
+  };
+
+  ASSERT_TRUE(cluster.write_latest(client, key, "precious").ok());
+
+  // Hollow the third replica: crash+restart wipes its RAM store but
+  // leaves it registered and serving (it will answer "not found").
+  cluster.crash_node(index_of(replicas[2]));
+  cluster.restart_node(index_of(replicas[2]));
+  // Kill the primary outright: attempt#0 routes to it and must time out.
+  cluster.crash_node(index_of(replicas[0]));
+
+  Tracer& tracer = cluster.sim().tracer();
+  tracer.set_enabled(true);
+
+  auto got = cluster.read_latest(client, key);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->value, "precious");
+  // The client settles before the repair's replica write round-trips;
+  // run on a little so the repair span closes.
+  cluster.run_for(sim_ms(50));
+
+  const auto spans = trace_spans(tracer, 1);
+  const Span* root = find_span(spans, "client.read_latest");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->status, "ok");
+
+  // Attempt #0 targeted the dead primary and timed out client-side.
+  const Span* a0 = find_span(spans, "client.read.attempt#0");
+  ASSERT_NE(a0, nullptr);
+  EXPECT_EQ(a0->parent, root->id);
+  EXPECT_EQ(a0->status, "timeout");
+  const auto a0_kids = children_of(spans, a0->id);
+  ASSERT_FALSE(a0_kids.empty());
+  EXPECT_EQ(a0_kids.front()->name, "rpc.client_read");
+  EXPECT_EQ(a0_kids.front()->status, "timeout");
+
+  // Attempt #1 is a sibling of #0 (both parent to the op root) and went
+  // to the second replica, which coordinated successfully.
+  const Span* a1 = find_span(spans, "client.read.attempt#1");
+  ASSERT_NE(a1, nullptr);
+  EXPECT_EQ(a1->parent, root->id);
+  EXPECT_EQ(a1->status, "ok");
+
+  const Span* coord = nullptr;
+  for (const Span& s : spans) {
+    if (s.name == "coord.read" && s.status == "ok") coord = &s;
+  }
+  ASSERT_NE(coord, nullptr);
+  EXPECT_EQ(coord->node, replicas[1]);
+
+  // The coordinator's fan-out to the dead primary timed out...
+  bool replica_timeout = false;
+  for (const Span* k : children_of(spans, coord->id)) {
+    if (k->name == "rpc.replica_read" && k->status == "timeout") {
+      replica_timeout = true;
+    }
+  }
+  EXPECT_TRUE(replica_timeout);
+
+  // ...and the hollowed replica's stale answer triggered read repair,
+  // pushing the fresh value back via a replica write under the repair
+  // span — all within the same trace.
+  const Span* repair = find_span(spans, "coord.read_repair");
+  ASSERT_NE(repair, nullptr);
+  EXPECT_EQ(repair->parent, coord->id);
+  EXPECT_EQ(repair->status, "ok");
+  bool repair_write = false;
+  for (const Span* k : children_of(spans, repair->id)) {
+    if (k->name == "rpc.replica_write") repair_write = true;
+  }
+  EXPECT_TRUE(repair_write);
+
+  // The rendered tree carries the same story for operators.
+  ClusterInspector inspector(cluster);
+  const std::string report = inspector.trace_report();
+  EXPECT_NE(report.find("client.read_latest"), std::string::npos);
+  EXPECT_NE(report.find("timeout"), std::string::npos);
+  EXPECT_NE(report.find("coord.read_repair"), std::string::npos);
+}
+
+TEST(Tracing, DisabledTracerRecordsNothing) {
+  SednaCluster cluster(small_config(3));
+  ASSERT_TRUE(cluster.boot().ok());
+  auto& client = cluster.make_client();
+  ASSERT_TRUE(cluster.write_latest(client, "k", "v").ok());
+  ASSERT_TRUE(cluster.read_latest(client, "k").ok());
+  EXPECT_TRUE(cluster.sim().tracer().spans().empty());
+  EXPECT_EQ(cluster.sim().tracer().dump_json(), "[\n]\n");
+}
+
+}  // namespace
+}  // namespace sedna::cluster
