@@ -6,12 +6,116 @@
 //   * failed / degraded operations during the outage window;
 //   * time from crash to first successful recovery (vnode reassignment);
 //   * replication factor of sampled keys after the dust settles.
+//
+// Second experiment ("repair" ablation): isolate one replica holder
+// behind a partition while a batch of keys is written, heal, then watch
+// the under-replicated count with ZERO reads in flight. With the repair
+// subsystem on (hinted handoff + Merkle anti-entropy) the count converges
+// to 0; with it off the hole persists indefinitely, because read repair —
+// the only remaining mechanism — never fires for cold keys.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "cluster/admin.h"
 #include "fig_common.h"
 
 using namespace sedna;
 using namespace sedna::bench;
+
+namespace {
+
+bool run_repair_ablation() {
+  std::printf("\nAblation: repair subsystem (hints + anti-entropy) after a "
+              "healed partition, zero reads\n");
+  std::FILE* csv = std::fopen("ablation_repair.csv", "w");
+  if (csv) std::fprintf(csv, "mode,sample,t_ms,under_replicated\n");
+
+  bool on_converged = false;
+  bool off_stuck = false;
+  for (int mode = 0; mode < 2; ++mode) {
+    const bool repair = mode == 1;
+    cluster::SednaClusterConfig cfg = paper_cluster_config();
+    // Small ring + fast daemons so a full anti-entropy sweep fits in a
+    // few samples (32 replica vnodes per node at 8 per 250 ms round).
+    cfg.cluster.total_vnodes = 64;
+    if (repair) {
+      cfg.node_template.hint_replay_interval = sim_ms(100);
+      cfg.node_template.hint_backoff_initial = sim_ms(50);
+      cfg.node_template.hint_backoff_max = sim_ms(500);
+      cfg.node_template.anti_entropy_interval = sim_ms(250);
+      cfg.node_template.anti_entropy_vnodes_per_round = 8;
+    } else {
+      cfg.node_template.hint_max_queued = 0;
+      cfg.node_template.anti_entropy_interval = 0;
+    }
+    cluster::SednaCluster cluster(cfg);
+    if (!cluster.boot().ok()) return false;
+    auto& client = cluster.make_client();
+
+    // Isolate one replica holder from the other data nodes only: its
+    // ZooKeeper session stays alive, so the failure detector never fires
+    // and nothing reassigns its vnodes — the under-replication is
+    // exactly the cold-key hole the repair subsystem exists to close.
+    const NodeId victim = cluster.node(2).id();
+    for (NodeId other : cluster.data_ids()) {
+      if (other != victim) cluster.network().partition(victim, other);
+    }
+
+    constexpr int kAblKeys = 500;
+    std::vector<std::string> keys;
+    keys.reserve(kAblKeys);
+    for (int i = 0; i < kAblKeys; ++i) {
+      keys.push_back("rk-" + std::to_string(i));
+      if (!cluster.write_latest(client, keys.back(), "v").ok()) {
+        std::printf("  [%s] write %d failed\n", repair ? "on" : "off", i);
+        return false;
+      }
+    }
+    cluster.network().heal_all();
+    const SimTime heal_at = cluster.sim().now();
+
+    cluster::ClusterInspector inspector(cluster);
+    std::size_t low = 0;
+    for (int s = 0; s < 8; ++s) {
+      low = inspector.under_replicated(keys, 3);
+      const double t_ms = (cluster.sim().now() - heal_at) / 1000.0;
+      std::printf("  [repair %s] t+%.0f ms: under-replicated %zu/%d\n",
+                  repair ? "on " : "off", t_ms, low, kAblKeys);
+      if (csv) {
+        std::fprintf(csv, "%s,%d,%.1f,%zu\n", repair ? "on" : "off", s,
+                     t_ms, low);
+      }
+      cluster.run_for(sim_ms(500));
+    }
+
+    if (repair) {
+      std::uint64_t hints = 0, ae_keys = 0;
+      for (std::size_t i = 0; i < cluster.data_node_count(); ++i) {
+        auto& m = cluster.node(i).metrics();
+        hints += m.counter("coordinator.hints_delivered").value();
+        ae_keys += m.counter("antientropy.keys_pushed").value() +
+                   m.counter("antientropy.keys_pulled").value();
+      }
+      std::printf("  [repair on ] hints delivered=%llu, keys repaired by "
+                  "anti-entropy=%llu\n",
+                  static_cast<unsigned long long>(hints),
+                  static_cast<unsigned long long>(ae_keys));
+      on_converged = low == 0;
+    } else {
+      off_stuck = low > 0;
+    }
+  }
+  if (csv) std::fclose(csv);
+
+  std::printf("shape: repair-on converges to 0 under-replicated: %s\n",
+              on_converged ? "yes" : "NO");
+  std::printf("shape: repair-off leaves the hole open: %s\n",
+              off_stuck ? "yes" : "NO");
+  return on_converged && off_stuck;
+}
+
+}  // namespace
 
 int main() {
   std::printf("Ablation: node failure, detection and read-triggered "
@@ -121,5 +225,7 @@ int main() {
               recovered ? "yes" : "NO");
   std::printf("shape: >=70%% of sampled keys back to 3 copies: %s\n",
               rereplicated ? "yes" : "NO");
-  return (reads_survive && recovered && rereplicated) ? 0 : 1;
+
+  const bool repair_ok = run_repair_ablation();
+  return (reads_survive && recovered && rereplicated && repair_ok) ? 0 : 1;
 }

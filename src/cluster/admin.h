@@ -32,6 +32,12 @@ struct NodeReport {
   std::uint64_t writes = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t read_repairs = 0;
+  std::uint64_t hints_pending = 0;
+  std::uint64_t hints_delivered = 0;
+  std::uint64_t ae_rounds = 0;
+  /// Divergent keys this node pushed to or pulled from peers during
+  /// anti-entropy reconciliation.
+  std::uint64_t keys_repaired = 0;
 };
 
 struct HotVnode {
@@ -87,6 +93,13 @@ class ClusterInspector {
                            .value();
       row.read_repairs =
           node.metrics().counter("coordinator.read_repairs").value();
+      row.hints_pending = node.hints_pending();
+      row.hints_delivered =
+          node.metrics().counter("coordinator.hints_delivered").value();
+      row.ae_rounds = node.metrics().counter("antientropy.rounds").value();
+      row.keys_repaired =
+          node.metrics().counter("antientropy.keys_pushed").value() +
+          node.metrics().counter("antientropy.keys_pulled").value();
       report.total_items += row.items;
       report.total_bytes += row.bytes;
       if (row.alive) {
@@ -145,20 +158,23 @@ class ClusterInspector {
                  static_cast<unsigned long long>(r.total_items),
                  static_cast<unsigned long long>(r.total_bytes),
                  r.vnode_imbalance, r.capacity_imbalance);
-    std::fprintf(out, "%-6s %-6s %-6s %7s %9s %12s %9s %9s %6s %7s\n",
+    std::fprintf(out,
+                 "%-6s %-6s %-6s %7s %9s %12s %9s %9s %6s %7s %6s %6s\n",
                  "node", "alive", "ready", "vnodes", "items", "bytes",
-                 "reads", "writes", "recov", "repairs");
+                 "reads", "writes", "recov", "repairs", "hints", "aesync");
     for (const auto& n : r.nodes) {
       std::fprintf(out,
                    "%-6u %-6s %-6s %7u %9llu %12llu %9llu %9llu %6llu "
-                   "%7llu\n",
+                   "%7llu %6llu %6llu\n",
                    n.id, n.alive ? "yes" : "NO", n.ready ? "yes" : "NO",
                    n.vnodes, static_cast<unsigned long long>(n.items),
                    static_cast<unsigned long long>(n.bytes),
                    static_cast<unsigned long long>(n.reads),
                    static_cast<unsigned long long>(n.writes),
                    static_cast<unsigned long long>(n.recoveries),
-                   static_cast<unsigned long long>(n.read_repairs));
+                   static_cast<unsigned long long>(n.read_repairs),
+                   static_cast<unsigned long long>(n.hints_pending),
+                   static_cast<unsigned long long>(n.keys_repaired));
     }
     if (!r.hottest.empty()) {
       std::fprintf(out, "hottest vnodes:");
@@ -194,7 +210,27 @@ class ClusterInspector {
       registry.attach("client-" + std::to_string(client.id()),
                       client.metrics());
     }
+    registry.attach("network", cluster_.network().metrics());
     return registry.prometheus_text();
+  }
+
+  /// How many of `keys` live on fewer than `want` replicas right now,
+  /// counted by peeking directly into every live node's local store (no
+  /// network traffic, so it cannot trigger read repair). The yardstick
+  /// for the repair subsystem's convergence tests and ablations.
+  [[nodiscard]] std::size_t under_replicated(
+      const std::vector<std::string>& keys, std::size_t want = 3) const {
+    std::size_t low = 0;
+    for (const auto& key : keys) {
+      std::size_t holders = 0;
+      for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+        auto& node = cluster_.node(i);
+        if (!node.alive()) continue;
+        if (node.local_store().read_latest(key).ok()) ++holders;
+      }
+      if (holders < want) ++low;
+    }
+    return low;
   }
 
  private:

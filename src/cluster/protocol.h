@@ -26,6 +26,8 @@ constexpr sim::MessageType kMsgFetchVnode = 220;   // new owner → survivor
 constexpr sim::MessageType kMsgTakeoverVnode = 221;  // coordinator → new owner
 constexpr sim::MessageType kMsgPurgeVnode = 222;   // new owner → old owner
 constexpr sim::MessageType kMsgScan = 230;         // client → every node
+constexpr sim::MessageType kMsgHintDeliver = 240;  // coordinator → healed replica
+constexpr sim::MessageType kMsgVnodeDigest = 241;  // anti-entropy digest exchange
 
 enum class WriteMode : std::uint8_t { kLatest = 0, kAll = 1 };
 enum class ReadMode : std::uint8_t { kLatest = 0, kAll = 1 };
@@ -325,6 +327,143 @@ struct TakeoverRequest {
     }
     if (r.failed()) return Status::Corruption("bad takeover request");
     return req;
+  }
+};
+
+/// Hinted handoff: a coordinator replays a write that a replica missed
+/// while it was down (Section III.C's quorum leaves W..N-1 replicas
+/// eligible for hints). The payload is the original replica write — same
+/// pinned timestamp, so replay is idempotent under LWW.
+struct HintDeliverRequest {
+  WriteRequest write;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w;
+    w.put_string(write.encode());
+    return std::move(w).take();
+  }
+
+  static Result<HintDeliverRequest> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    const std::string inner = r.get_string();
+    if (r.failed()) return Status::Corruption("bad hint request");
+    auto w = WriteRequest::decode(inner);
+    if (!w.ok()) return w.status();
+    HintDeliverRequest req;
+    req.write = std::move(w.value());
+    return req;
+  }
+};
+
+struct HintAckReply {
+  /// kOk: applied. kOutdated: replica already has newer data (hint can be
+  /// dropped). Anything else: keep the hint and retry later.
+  StatusCode status = StatusCode::kOk;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(1);
+    w.put_u8(static_cast<std::uint8_t>(status));
+    return std::move(w).take();
+  }
+
+  static Result<HintAckReply> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    HintAckReply rep;
+    rep.status = static_cast<StatusCode>(r.get_u8());
+    if (r.failed()) return Status::Corruption("bad hint ack");
+    return rep;
+  }
+};
+
+/// Merkle anti-entropy: the initiator sends its per-bucket digests for one
+/// vnode; the peer answers with the mismatched bucket ids and a key-level
+/// summary of its own content in those buckets so the initiator can
+/// compute the exact divergent set.
+struct VnodeDigestRequest {
+  VnodeId vnode = kInvalidVnode;
+  std::uint64_t root = 0;
+  std::vector<std::uint64_t> buckets;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(16 + buckets.size() * 8);
+    w.put_u32(vnode);
+    w.put_u64(root);
+    w.put_u32(static_cast<std::uint32_t>(buckets.size()));
+    for (std::uint64_t b : buckets) w.put_u64(b);
+    return std::move(w).take();
+  }
+
+  static Result<VnodeDigestRequest> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    VnodeDigestRequest req;
+    req.vnode = r.get_u32();
+    req.root = r.get_u64();
+    const std::uint32_t n = r.get_u32();
+    for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+      req.buckets.push_back(r.get_u64());
+    }
+    if (r.failed()) return Status::Corruption("bad digest request");
+    return req;
+  }
+};
+
+/// Key-level summary of one item in a mismatched bucket: enough for the
+/// initiator to decide push (local newer), pull (peer newer), or
+/// value-list reconcile (list digests differ).
+struct KeySummary {
+  std::string key;
+  bool has_latest = false;
+  Timestamp latest_ts = 0;
+  std::uint64_t list_digest = 0;
+};
+
+struct VnodeDigestReply {
+  StatusCode status = StatusCode::kOk;
+  /// True when the peer's root digest matches the request's (no walk).
+  bool match = false;
+  /// Bucket indices whose digests differ.
+  std::vector<std::uint32_t> mismatched;
+  /// Peer's key summaries for the mismatched buckets (capped; see
+  /// `truncated`).
+  std::vector<KeySummary> keys;
+  bool truncated = false;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w;
+    w.put_u8(static_cast<std::uint8_t>(status));
+    w.put_bool(match);
+    w.put_u32(static_cast<std::uint32_t>(mismatched.size()));
+    for (std::uint32_t b : mismatched) w.put_u32(b);
+    w.put_vector(keys, [](BinaryWriter& out, const KeySummary& k) {
+      out.put_string(k.key);
+      out.put_bool(k.has_latest);
+      out.put_u64(k.latest_ts);
+      out.put_u64(k.list_digest);
+    });
+    w.put_bool(truncated);
+    return std::move(w).take();
+  }
+
+  static Result<VnodeDigestReply> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    VnodeDigestReply rep;
+    rep.status = static_cast<StatusCode>(r.get_u8());
+    rep.match = r.get_bool();
+    const std::uint32_t n = r.get_u32();
+    for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+      rep.mismatched.push_back(r.get_u32());
+    }
+    rep.keys = r.get_vector<KeySummary>([](BinaryReader& in) {
+      KeySummary k;
+      k.key = in.get_string();
+      k.has_latest = in.get_bool();
+      k.latest_ts = in.get_u64();
+      k.list_digest = in.get_u64();
+      return k;
+    });
+    rep.truncated = r.get_bool();
+    if (r.failed()) return Status::Corruption("bad digest reply");
+    return rep;
   }
 };
 

@@ -60,6 +60,23 @@ SednaClient::WriteCallback SednaClient::traced_write(const char* op,
   };
 }
 
+SimDuration SednaClient::retry_backoff(int next_attempt) {
+  if (config_.retry_backoff_initial_us == 0) return 0;
+  SimDuration base = config_.retry_backoff_initial_us;
+  for (int i = 1; i < next_attempt && base < config_.retry_backoff_max_us;
+       ++i) {
+    base *= 2;
+  }
+  base = std::min(base, config_.retry_backoff_max_us);
+  const double spread =
+      1.0 + config_.retry_backoff_jitter *
+                (2.0 * sim().rng().next_double() - 1.0);
+  auto wait = static_cast<SimDuration>(static_cast<double>(base) * spread);
+  if (wait == 0) wait = 1;
+  metrics_.histogram("client.retry_backoff_us").record(wait);
+  return wait;
+}
+
 NodeId SednaClient::coordinator_for(const std::string& key,
                                     int attempt) const {
   const auto replicas = metadata_.table().replicas_for_key(key);
@@ -109,13 +126,18 @@ void SednaClient::do_write(WriteRequest req, int attempt, WriteCallback cb) {
            cb(final);
            return;
          }
-         // Refresh routing state, then retry via the next replica.
+         // Refresh routing state, wait out the jittered backoff, then
+         // retry via the next replica.
          metrics_.counter("client.write_retries").add(1);
          end_span(span, st.ok() ? "retry" : "timeout");
+         const SimDuration backoff = retry_backoff(attempt + 1);
          metadata_.sync_now([this, req = std::move(req), attempt, parent,
-                             cb = std::move(cb)]() mutable {
-           set_trace_context(parent);
-           do_write(std::move(req), attempt + 1, std::move(cb));
+                             backoff, cb = std::move(cb)]() mutable {
+           sim().schedule(backoff, [this, req = std::move(req), attempt,
+                                    parent, cb = std::move(cb)]() mutable {
+             set_trace_context(parent);
+             do_write(std::move(req), attempt + 1, std::move(cb));
+           });
          });
        });
   set_trace_context(parent);
@@ -158,10 +180,14 @@ void SednaClient::do_read(ReadRequest req, int attempt,
          }
          metrics_.counter("client.read_retries").add(1);
          end_span(span, st.ok() ? "retry" : "timeout");
+         const SimDuration backoff = retry_backoff(attempt + 1);
          metadata_.sync_now([this, req = std::move(req), attempt, parent,
-                             cb = std::move(cb)]() mutable {
-           set_trace_context(parent);
-           do_read(std::move(req), attempt + 1, std::move(cb));
+                             backoff, cb = std::move(cb)]() mutable {
+           sim().schedule(backoff, [this, req = std::move(req), attempt,
+                                    parent, cb = std::move(cb)]() mutable {
+             set_trace_context(parent);
+             do_read(std::move(req), attempt + 1, std::move(cb));
+           });
          });
        });
   set_trace_context(parent);

@@ -36,6 +36,14 @@ struct SednaClientConfig {
   /// take one full replica timeout to settle a quorum when a replica is
   /// dead, and the client must still be listening when the answer comes.
   SimDuration op_timeout_us = 250 * 1000;
+  /// Seeded exponential backoff before retry k: ~initial·2^(k-1), capped
+  /// at the max, with ±`retry_backoff_jitter` fractional spread so a herd
+  /// of clients retrying into a degraded coordinator decorrelates.
+  /// 0 restores the old behavior (retry immediately after the metadata
+  /// sync).
+  SimDuration retry_backoff_initial_us = 2000;
+  SimDuration retry_backoff_max_us = 100 * 1000;
+  double retry_backoff_jitter = 0.25;
   zk::ZkClientConfig zk_client;
   sim::HostConfig host;
 };
@@ -115,6 +123,10 @@ class SednaClient : public sim::Host {
   /// Coordinator choice for attempt k: the k-th replica of the key.
   [[nodiscard]] NodeId coordinator_for(const std::string& key,
                                        int attempt) const;
+
+  /// Draws the jittered wait before `next_attempt` and records it in the
+  /// client.retry_backoff_us histogram.
+  [[nodiscard]] SimDuration retry_backoff(int next_attempt);
 
   SednaClientConfig config_;
   zk::ZkClient zk_;

@@ -77,6 +77,10 @@ void SednaNode::start(ReadyCallback on_ready) {
                      return;
                    }
                    ready_ = true;
+                   // Merkle leaf cells sized to the ring; rebuilt from the
+                   // (possibly persistence-recovered) store content.
+                   store_->enable_digests(metadata_.table().total_vnodes(),
+                                          config_.digest_buckets);
                    sim().schedule_periodic(config_.load_report_interval,
                                            [this] {
                                              set_trace_context({});
@@ -88,6 +92,25 @@ void SednaNode::start(ReadyCallback on_ready) {
                                                set_trace_context({});
                                                rebalance_tick();
                                              });
+                   }
+                   // Repair daemons: cancel-then-reschedule so a restart
+                   // does not stack duplicate timers.
+                   if (config_.hint_max_queued > 0 &&
+                       config_.hint_replay_interval > 0) {
+                     hint_timer_.cancel();
+                     hint_timer_ = sim().schedule_periodic(
+                         config_.hint_replay_interval, [this] {
+                           set_trace_context({});
+                           hint_replay_tick();
+                         });
+                   }
+                   if (config_.anti_entropy_interval > 0) {
+                     ae_timer_.cancel();
+                     ae_timer_ = sim().schedule_periodic(
+                         config_.anti_entropy_interval, [this] {
+                           set_trace_context({});
+                           anti_entropy_tick();
+                         });
                    }
                    on_ready(Status::Ok());
                  });
@@ -122,15 +145,21 @@ void SednaNode::claim_vnodes(std::vector<ring::VnodeMove> moves,
   auto cursor = std::make_shared<std::size_t>(next);
 
   // Pump-style scheduler: keep `takeover_parallelism` claims in flight.
+  // The lambda holds itself only weakly; the strong references live in the
+  // in-flight claim callbacks, so the closure is freed once the last claim
+  // completes (a self-capturing shared_ptr would never be released).
   auto pump = std::make_shared<std::function<void()>>();
-  *pump = [this, shared_moves, pending, cursor, on_done, pump]() {
+  std::weak_ptr<std::function<void()>> weak_pump = pump;
+  *pump = [this, shared_moves, pending, cursor, on_done, weak_pump]() {
+    auto self = weak_pump.lock();
+    if (!self) return;
     while (*cursor < shared_moves->size() &&
            *pending < config_.takeover_parallelism) {
       const auto move = (*shared_moves)[(*cursor)++];
       ++*pending;
-      claim_one(move, [pending, pump] {
+      claim_one(move, [pending, self] {
         --*pending;
-        (*pump)();
+        (*self)();
       });
     }
     if (*cursor >= shared_moves->size() && *pending == 0) {
@@ -255,6 +284,12 @@ void SednaNode::on_message(const sim::Message& msg) {
     case kMsgScan:
       handle_scan(msg);
       break;
+    case kMsgHintDeliver:
+      handle_hint_deliver(msg);
+      break;
+    case kMsgVnodeDigest:
+      handle_vnode_digest(msg);
+      break;
     case zk::kMsgWatchEvent:
       zk_.on_watch_event(msg.payload);
       break;
@@ -271,6 +306,8 @@ std::string SednaNode::rpc_span_name(sim::MessageType type) const {
     case kMsgReplicaRead: return "rpc.replica_read";
     case kMsgFetchVnode: return "rpc.fetch_vnode";
     case kMsgScan: return "rpc.scan";
+    case kMsgHintDeliver: return "rpc.hint_deliver";
+    case kMsgVnodeDigest: return "rpc.vnode_digest";
     case zk::kMsgClientRequest: return "rpc.zk_request";
     case zk::kMsgSessionPing: return "rpc.zk_ping";
     default: return sim::Host::rpc_span_name(type);
@@ -285,6 +322,14 @@ void SednaNode::on_crash() {
   recovering_.clear();
   verified_alive_.clear();
   ready_ = false;
+  // Hints are coordinator RAM: they die with the process. The Merkle
+  // anti-entropy pass is what makes that loss survivable.
+  hint_queues_.clear();
+  hints_pending_ = 0;
+  ae_last_synced_.clear();
+  ae_in_flight_ = false;
+  hint_timer_.cancel();
+  ae_timer_.cancel();
 }
 
 StatusCode SednaNode::apply_write(const WriteRequest& req) {
@@ -437,11 +482,14 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
       continue;
     }
     call(replica, kMsgReplicaWrite, payload,
-         [this, state, settle, replica, vnode](const Status& st,
-                                               const std::string& body) {
+         [this, state, settle, replica, vnode, req](const Status& st,
+                                                    const std::string& body) {
            ++state->responses;
            if (!st.ok()) {
              ++state->failures;
+             // The replica missed an acknowledged-at-W write: remember it
+             // and replay once the replica re-registers (hinted handoff).
+             queue_hint(replica, req);
              suspect_node(replica, vnode);
            } else {
              auto rep = WriteReply::decode(body);
@@ -1068,6 +1116,504 @@ void SednaNode::fetch_vnode_from(VnodeId vnode, std::vector<NodeId> sources,
          metrics_.counter("transfer.items_received").add(rep->items.size());
          done(true);
        });
+}
+
+// ---------------------------------------------------------------------------
+// Hinted handoff
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Hints for the same (mode, key[, source]) coalesce: only the newest
+/// version needs replaying under LWW.
+std::string hint_dedupe_key(const WriteRequest& req) {
+  if (req.mode == WriteMode::kLatest) return "L:" + req.key;
+  return "A:" + std::to_string(req.source) + ":" + req.key;
+}
+
+}  // namespace
+
+void SednaNode::queue_hint(NodeId target, const WriteRequest& req) {
+  if (config_.hint_max_queued == 0 || target == id()) return;
+  {
+    HintQueue& q = hint_queues_[target];
+    auto it = q.hints.find(hint_dedupe_key(req));
+    if (it != q.hints.end()) {
+      // Coalesce: keep the newest write, but the original queue position
+      // (age for eviction is the age of the oldest un-replayed miss).
+      if (req.ts > it->second.write.ts) it->second.write = req;
+      return;
+    }
+  }
+  // Eviction may erase `target`'s own (possibly only) queue entry, so no
+  // HintQueue reference can be held across this call.
+  if (hints_pending_ >= config_.hint_max_queued) evict_oldest_hint();
+  PendingHint hint;
+  hint.write = req;
+  hint.queued_at = now();
+  hint.seq = hint_seq_++;
+  hint_queues_[target].hints.emplace(hint_dedupe_key(req), std::move(hint));
+  ++hints_pending_;
+  metrics_.counter("coordinator.hints_queued").add(1);
+}
+
+void SednaNode::evict_oldest_hint() {
+  NodeId victim_target = kInvalidNode;
+  std::string victim_key;
+  std::uint64_t oldest_seq = UINT64_MAX;
+  for (const auto& [target, q] : hint_queues_) {
+    for (const auto& [key, hint] : q.hints) {
+      if (hint.seq < oldest_seq) {
+        oldest_seq = hint.seq;
+        victim_target = target;
+        victim_key = key;
+      }
+    }
+  }
+  if (victim_target == kInvalidNode) return;
+  auto qit = hint_queues_.find(victim_target);
+  qit->second.hints.erase(victim_key);
+  if (hints_pending_ > 0) --hints_pending_;
+  metrics_.counter("coordinator.hints_evicted").add(1);
+  if (qit->second.hints.empty() && !qit->second.in_flight) {
+    hint_queues_.erase(qit);
+  }
+}
+
+void SednaNode::bump_hint_backoff(HintQueue& q) {
+  const SimDuration base =
+      q.backoff == 0
+          ? config_.hint_backoff_initial
+          : std::min<SimDuration>(config_.hint_backoff_max, q.backoff * 2);
+  q.backoff = base;
+  // ±25% seeded jitter decorrelates coordinators hammering the same
+  // recovering node.
+  const double jitter = 0.75 + 0.5 * sim().rng().next_double();
+  q.next_attempt =
+      now() + static_cast<SimDuration>(static_cast<double>(base) * jitter);
+}
+
+void SednaNode::hint_replay_tick() {
+  if (!alive() || !ready_ || hint_queues_.empty()) return;
+  std::vector<NodeId> due;
+  for (const auto& [target, q] : hint_queues_) {
+    if (!q.in_flight && now() >= q.next_attempt) due.push_back(target);
+  }
+  for (NodeId target : due) {
+    // Gate on the target's ephemeral znode: deliveries start only once
+    // the node has re-registered (its session is back).
+    hint_queues_[target].in_flight = true;
+    zk_.exists(real_node_znode(target),
+               [this, target](const Result<zk::ZnodeStat>& st) {
+                 auto it = hint_queues_.find(target);
+                 if (it == hint_queues_.end()) return;
+                 if (!st.ok()) {
+                   it->second.in_flight = false;
+                   bump_hint_backoff(it->second);
+                   return;
+                 }
+                 replay_hints_to(target);
+               });
+  }
+}
+
+void SednaNode::replay_hints_to(NodeId target) {
+  auto qit = hint_queues_.find(target);
+  if (qit == hint_queues_.end()) return;
+  HintQueue& q = qit->second;
+  q.in_flight = true;
+  std::vector<std::string> batch;
+  for (const auto& [key, hint] : q.hints) {
+    if (batch.size() >= config_.hint_replay_batch) break;
+    batch.push_back(key);
+  }
+  if (batch.empty()) {
+    finish_hint_batch(target, /*failed=*/false);
+    return;
+  }
+  auto outstanding = std::make_shared<std::size_t>(batch.size());
+  auto failures = std::make_shared<std::uint32_t>(0);
+  for (const auto& key : batch) {
+    HintDeliverRequest req;
+    req.write = q.hints.at(key).write;
+    call(target, kMsgHintDeliver, req.encode(),
+         [this, target, key, outstanding, failures](const Status& st,
+                                                    const std::string& body) {
+           bool delivered = false;
+           if (st.ok()) {
+             auto ack = HintAckReply::decode(body);
+             // kOutdated means the replica already holds newer data — the
+             // hint's job is done either way.
+             delivered = ack.ok() && (ack->status == StatusCode::kOk ||
+                                      ack->status == StatusCode::kOutdated);
+           }
+           auto it = hint_queues_.find(target);
+           if (it != hint_queues_.end()) {
+             if (delivered) {
+               if (it->second.hints.erase(key) > 0) {
+                 if (hints_pending_ > 0) --hints_pending_;
+                 metrics_.counter("coordinator.hints_delivered").add(1);
+               }
+             } else {
+               ++*failures;
+             }
+           }
+           if (--*outstanding == 0) {
+             finish_hint_batch(target, *failures > 0);
+           }
+         });
+  }
+}
+
+void SednaNode::finish_hint_batch(NodeId target, bool failed) {
+  auto it = hint_queues_.find(target);
+  if (it == hint_queues_.end()) return;
+  HintQueue& q = it->second;
+  q.in_flight = false;
+  if (failed) {
+    bump_hint_backoff(q);
+    return;
+  }
+  q.backoff = 0;
+  q.next_attempt = now();  // drain the rest on the next tick
+  if (q.hints.empty()) hint_queues_.erase(it);
+}
+
+void SednaNode::handle_hint_deliver(const sim::Message& msg) {
+  auto req = HintDeliverRequest::decode(msg.payload);
+  HintAckReply rep;
+  if (!req.ok()) {
+    rep.status = StatusCode::kInvalidArgument;
+  } else if (!ready_) {
+    // Not serving yet: refuse so the coordinator keeps the hint.
+    rep.status = StatusCode::kUnavailable;
+  } else {
+    rep.status = apply_write(req->write);
+    metrics_.counter("replica.hints_received").add(1);
+  }
+  instant_span("replica.hint_apply", std::string(to_string(rep.status)));
+  reply(msg, rep.encode());
+}
+
+// ---------------------------------------------------------------------------
+// Merkle anti-entropy
+// ---------------------------------------------------------------------------
+
+void SednaNode::anti_entropy_tick() {
+  if (!alive() || !ready_ || ae_in_flight_ || !store_->digests_enabled()) {
+    return;
+  }
+  auto mine = metadata_.table().replica_vnodes_of(id());
+  if (mine.empty()) return;
+  // Least-recently-synced first (never-synced counts as time 0), vnode id
+  // as the deterministic tie-break.
+  std::sort(mine.begin(), mine.end(), [this](VnodeId a, VnodeId b) {
+    const auto ita = ae_last_synced_.find(a);
+    const auto itb = ae_last_synced_.find(b);
+    const SimTime ta = ita == ae_last_synced_.end() ? 0 : ita->second;
+    const SimTime tb = itb == ae_last_synced_.end() ? 0 : itb->second;
+    if (ta != tb) return ta < tb;
+    return a < b;
+  });
+  const std::size_t take =
+      std::min<std::size_t>(mine.size(),
+                            std::max<std::uint32_t>(
+                                1, config_.anti_entropy_vnodes_per_round));
+  mine.resize(take);
+  ae_in_flight_ = true;
+  metrics_.counter("antientropy.rounds").add(1);
+  sync_vnodes(std::make_shared<std::vector<VnodeId>>(std::move(mine)), 0);
+}
+
+void SednaNode::sync_vnodes(std::shared_ptr<std::vector<VnodeId>> vnodes,
+                            std::size_t next) {
+  if (!alive() || !ready_ || next >= vnodes->size()) {
+    ae_in_flight_ = false;
+    return;
+  }
+  const VnodeId v = (*vnodes)[next];
+  ae_last_synced_[v] = now();
+  sync_vnode(v, [this, vnodes, next] { sync_vnodes(vnodes, next + 1); });
+}
+
+void SednaNode::sync_vnode(VnodeId vnode, std::function<void()> done) {
+  std::vector<NodeId> peers;
+  for (NodeId n : metadata_.table().replicas_for_vnode(vnode)) {
+    if (n != id()) peers.push_back(n);
+  }
+  if (peers.empty()) {
+    done();
+    return;
+  }
+  // The daemon runs outside any request context; open a dedicated trace
+  // so repair exchanges show up in trace dumps (no-op while disabled).
+  const TraceContext ctx = begin_trace("antientropy.sync");
+  auto finish = [this, root = ctx.span_id, done = std::move(done)] {
+    end_span(root);
+    set_trace_context({});
+    done();
+  };
+  sync_vnode_peer(vnode, std::make_shared<std::vector<NodeId>>(peers), 0,
+                  std::move(finish));
+}
+
+void SednaNode::sync_vnode_peer(VnodeId vnode,
+                                std::shared_ptr<std::vector<NodeId>> peers,
+                                std::size_t idx, std::function<void()> done) {
+  if (!alive() || idx >= peers->size()) {
+    done();
+    return;
+  }
+  const NodeId peer = (*peers)[idx];
+  auto next = [this, vnode, peers, idx, done = std::move(done)] {
+    sync_vnode_peer(vnode, peers, idx + 1, done);
+  };
+  VnodeDigestRequest req;
+  req.vnode = vnode;
+  req.root = store_->digest_root(vnode);
+  req.buckets = store_->digest_buckets(vnode);
+  metrics_.counter("antientropy.digest_requests").add(1);
+  call(peer, kMsgVnodeDigest, req.encode(),
+       [this, vnode, peer, next = std::move(next)](const Status& st,
+                                                   const std::string& body) {
+         if (!st.ok()) {
+           metrics_.counter("antientropy.peer_timeouts").add(1);
+           next();
+           return;
+         }
+         auto rep = VnodeDigestReply::decode(body);
+         if (!rep.ok() || rep->status != StatusCode::kOk || rep->match) {
+           next();
+           return;
+         }
+         metrics_.counter("antientropy.digest_mismatches").add(1);
+         reconcile_with_peer(vnode, peer, *rep, next);
+       });
+}
+
+void SednaNode::reconcile_with_peer(VnodeId vnode, NodeId peer,
+                                    const VnodeDigestReply& rep,
+                                    std::function<void()> done) {
+  const SpanId span = begin_span("antientropy.reconcile");
+  const TraceContext prev = enter_span(span);
+
+  // Local view of the mismatched buckets.
+  struct LocalKey {
+    bool has_latest = false;
+    store::VersionedValue latest;
+    std::vector<store::SourceValue> list;
+    std::uint64_t list_digest = 0;
+  };
+  std::set<std::uint32_t> mismatched(rep.mismatched.begin(),
+                                     rep.mismatched.end());
+  const std::uint32_t bucket_count = store_->digest_buckets_per_vnode();
+  const auto& table = metadata_.table();
+  std::map<std::string, LocalKey> local;
+  store_->for_each_matching(
+      [&table, &mismatched, bucket_count, vnode](std::string_view key) {
+        return table.vnode_for_key(key) == vnode &&
+               mismatched.contains(
+                   store::LocalStore::digest_bucket_of(key, bucket_count));
+      },
+      [&local](const store::Item& item) {
+        LocalKey lk;
+        lk.has_latest = item.has_latest;
+        lk.latest = item.latest;
+        lk.list = item.value_list;
+        lk.list_digest = store::LocalStore::value_list_digest(item.value_list);
+        local.emplace(item.key, std::move(lk));
+      });
+
+  // Decide per key: push what we have newer, pull what the peer has
+  // newer; a value-list digest mismatch reconciles both directions (the
+  // per-source LWW merge makes the union converge).
+  std::vector<WriteRequest> pushes;
+  std::vector<std::pair<std::string, bool>> pulls;  // key, pull list too
+  std::set<std::string> peer_keys;
+  for (const KeySummary& ks : rep.keys) {
+    peer_keys.insert(ks.key);
+    const auto it = local.find(ks.key);
+    const bool local_has = it != local.end() && it->second.has_latest;
+    const Timestamp local_ts = local_has ? it->second.latest.ts : 0;
+    const std::uint64_t local_list =
+        it == local.end() ? 0 : it->second.list_digest;
+    const bool list_diff = local_list != ks.list_digest;
+    if ((ks.has_latest && (!local_has || local_ts < ks.latest_ts)) ||
+        list_diff) {
+      pulls.emplace_back(ks.key, list_diff);
+    }
+    if (local_has && (!ks.has_latest || ks.latest_ts < local_ts)) {
+      WriteRequest w;
+      w.mode = WriteMode::kLatest;
+      w.key = ks.key;
+      w.value = it->second.latest.value;
+      w.ts = it->second.latest.ts;
+      w.flags = it->second.latest.flags;
+      pushes.push_back(std::move(w));
+    }
+    if (list_diff && it != local.end()) {
+      for (const auto& sv : it->second.list) {
+        WriteRequest w;
+        w.mode = WriteMode::kAll;
+        w.key = ks.key;
+        w.value = sv.value;
+        w.ts = sv.ts;
+        w.source = sv.source;
+        pushes.push_back(std::move(w));
+      }
+    }
+  }
+  // Keys the peer did not list at all are missing there — unless its
+  // summary was truncated, in which case absence proves nothing and the
+  // next rounds will cover the remainder.
+  if (!rep.truncated) {
+    for (const auto& [key, lk] : local) {
+      if (peer_keys.contains(key)) continue;
+      if (lk.has_latest) {
+        WriteRequest w;
+        w.mode = WriteMode::kLatest;
+        w.key = key;
+        w.value = lk.latest.value;
+        w.ts = lk.latest.ts;
+        w.flags = lk.latest.flags;
+        pushes.push_back(std::move(w));
+      }
+      for (const auto& sv : lk.list) {
+        WriteRequest w;
+        w.mode = WriteMode::kAll;
+        w.key = key;
+        w.value = sv.value;
+        w.ts = sv.ts;
+        w.source = sv.source;
+        pushes.push_back(std::move(w));
+      }
+    }
+  } else {
+    metrics_.counter("antientropy.truncated_replies").add(1);
+  }
+
+  auto outstanding = std::make_shared<std::size_t>(1);
+  auto finish = [this, span, prev, outstanding,
+                 done = std::move(done)] {
+    if (--*outstanding == 0) {
+      end_span(span);
+      done();
+    }
+  };
+  for (const WriteRequest& w : pushes) {
+    ++*outstanding;
+    metrics_.counter("antientropy.keys_pushed").add(1);
+    call(peer, kMsgReplicaWrite, w.encode(),
+         [finish](const Status&, const std::string&) { finish(); });
+  }
+  for (const auto& [key, want_list] : pulls) {
+    ++*outstanding;
+    pull_key(peer, key, want_list, finish);
+  }
+  set_trace_context(prev);
+  finish();  // releases the +1 guard
+}
+
+void SednaNode::pull_key(NodeId peer, const std::string& key, bool want_list,
+                         std::function<void()> done) {
+  ReadRequest latest_req;
+  latest_req.mode = ReadMode::kLatest;
+  latest_req.key = key;
+  call(peer, kMsgReplicaRead, latest_req.encode(),
+       [this, peer, key, want_list, done = std::move(done)](
+           const Status& st, const std::string& body) {
+         if (st.ok()) {
+           auto rep = ReadReply::decode(body);
+           if (rep.ok() && rep->has_latest) {
+             WriteRequest w;
+             w.mode = WriteMode::kLatest;
+             w.key = key;
+             w.value = rep->latest.value;
+             w.ts = rep->latest.ts;  // pinned: replay is idempotent
+             w.flags = rep->latest.flags;
+             if (apply_write(w) == StatusCode::kOk) {
+               metrics_.counter("antientropy.keys_pulled").add(1);
+             }
+           }
+         }
+         if (!want_list) {
+           done();
+           return;
+         }
+         ReadRequest list_req;
+         list_req.mode = ReadMode::kAll;
+         list_req.key = key;
+         call(peer, kMsgReplicaRead, list_req.encode(),
+              [this, key, done](const Status& st2, const std::string& body2) {
+                if (st2.ok()) {
+                  auto rep2 = ReadReply::decode(body2);
+                  if (rep2.ok()) {
+                    for (const auto& sv : rep2->value_list) {
+                      WriteRequest w;
+                      w.mode = WriteMode::kAll;
+                      w.key = key;
+                      w.value = sv.value;
+                      w.ts = sv.ts;
+                      w.source = sv.source;
+                      apply_write(w);
+                    }
+                  }
+                }
+                done();
+              });
+       });
+}
+
+void SednaNode::handle_vnode_digest(const sim::Message& msg) {
+  auto req = VnodeDigestRequest::decode(msg.payload);
+  VnodeDigestReply rep;
+  if (!req.ok() || !ready_ || !store_->digests_enabled()) {
+    rep.status = StatusCode::kUnavailable;
+    reply(msg, rep.encode());
+    return;
+  }
+  metrics_.counter("antientropy.digest_serves").add(1);
+  const auto local = store_->digest_buckets(req->vnode);
+  if (local.size() == req->buckets.size() &&
+      store_->digest_root(req->vnode) == req->root) {
+    rep.match = true;
+    instant_span("antientropy.digest_match");
+    reply(msg, rep.encode());
+    return;
+  }
+  std::set<std::uint32_t> mismatched;
+  if (local.size() != req->buckets.size()) {
+    // Bucket-count mismatch (config drift): treat everything as divergent.
+    for (std::uint32_t b = 0; b < local.size(); ++b) mismatched.insert(b);
+  } else {
+    for (std::uint32_t b = 0; b < local.size(); ++b) {
+      if (local[b] != req->buckets[b]) mismatched.insert(b);
+    }
+  }
+  rep.mismatched.assign(mismatched.begin(), mismatched.end());
+  const std::uint32_t bucket_count = store_->digest_buckets_per_vnode();
+  const auto& table = metadata_.table();
+  const VnodeId vnode = req->vnode;
+  store_->for_each_matching(
+      [&table, &mismatched, bucket_count, vnode](std::string_view key) {
+        return table.vnode_for_key(key) == vnode &&
+               mismatched.contains(
+                   store::LocalStore::digest_bucket_of(key, bucket_count));
+      },
+      [this, &rep](const store::Item& item) {
+        if (rep.keys.size() >= config_.anti_entropy_max_keys) {
+          rep.truncated = true;
+          return;
+        }
+        KeySummary ks;
+        ks.key = item.key;
+        ks.has_latest = item.has_latest;
+        ks.latest_ts = item.has_latest ? item.latest.ts : 0;
+        ks.list_digest = store::LocalStore::value_list_digest(item.value_list);
+        rep.keys.push_back(std::move(ks));
+      });
+  instant_span("antientropy.digest_mismatch");
+  reply(msg, rep.encode());
 }
 
 }  // namespace sedna::cluster

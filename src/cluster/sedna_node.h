@@ -60,6 +60,29 @@ struct SednaNodeConfig {
   std::uint32_t rebalance_tolerance = 2;
   /// Moves executed per rebalance round (bounds transfer burstiness).
   std::uint32_t rebalance_max_moves = 4;
+
+  // --- Repair subsystem (hinted handoff + Merkle anti-entropy) ----------
+  /// Max hints held across all targets (capped coordinator memory);
+  /// oldest hint evicted first when full. 0 disables hinted handoff.
+  std::size_t hint_max_queued = 1024;
+  /// Hint replay daemon tick; each tick retries targets whose backoff
+  /// window has elapsed. 0 disables the daemon.
+  SimDuration hint_replay_interval = sim_ms(200);
+  /// Exponential per-target backoff while the target stays unregistered
+  /// or deliveries keep failing (doubles up to the max, ±25% jitter).
+  SimDuration hint_backoff_initial = sim_ms(100);
+  SimDuration hint_backoff_max = sim_sec(5);
+  /// Hints delivered to one target per replay round (rate bound).
+  std::uint32_t hint_replay_batch = 32;
+  /// Anti-entropy daemon tick: each round syncs the least-recently-synced
+  /// replicated vnodes against the other replica holders. 0 disables.
+  SimDuration anti_entropy_interval = sim_sec(2);
+  std::uint32_t anti_entropy_vnodes_per_round = 1;
+  /// Digest buckets per vnode in the LocalStore Merkle tree.
+  std::uint32_t digest_buckets = 16;
+  /// Key summaries per digest reply (bounds message size per round).
+  std::uint32_t anti_entropy_max_keys = 512;
+
   zk::ZkClientConfig zk_client;  // ensemble is filled from zk_ensemble
   sim::HostConfig host;
 };
@@ -96,6 +119,9 @@ class SednaNode : public sim::Host {
   /// Writer-unique monotone timestamp (Section III.F LWW ordering).
   Timestamp next_ts();
 
+  /// Hints currently queued for later delivery (all targets).
+  [[nodiscard]] std::size_t hints_pending() const { return hints_pending_; }
+
  protected:
   void on_message(const sim::Message& msg) override;
   void on_crash() override;
@@ -114,6 +140,9 @@ class SednaNode : public sim::Host {
   void handle_takeover(const sim::Message& msg);
   void handle_purge_vnode(const sim::Message& msg);
   void handle_scan(const sim::Message& msg);
+  // Repair paths.
+  void handle_hint_deliver(const sim::Message& msg);
+  void handle_vnode_digest(const sim::Message& msg);
 
   /// Applies a write to the local store + persistence. Used by both the
   /// replica handler and the coordinator's own local copy.
@@ -146,6 +175,46 @@ class SednaNode : public sim::Host {
   void report_load();
   void schedule_flush();
 
+  // ---- Hinted handoff ----------------------------------------------------
+  struct PendingHint {
+    WriteRequest write;
+    SimTime queued_at = 0;
+    std::uint64_t seq = 0;  // arrival order, for oldest-first eviction
+  };
+  struct HintQueue {
+    /// Dedupe key ("L:<key>" / "A:<source>:<key>") → newest queued write.
+    std::map<std::string, PendingHint> hints;
+    SimTime next_attempt = 0;
+    SimDuration backoff = 0;
+    bool in_flight = false;
+  };
+
+  /// Queues (or upgrades) a hint after a replica write RPC failed.
+  void queue_hint(NodeId target, const WriteRequest& req);
+  void evict_oldest_hint();
+  void bump_hint_backoff(HintQueue& q);
+  /// Daemon tick: for each due target, check its ephemeral znode and
+  /// replay a bounded batch if it is back.
+  void hint_replay_tick();
+  void replay_hints_to(NodeId target);
+  void finish_hint_batch(NodeId target, bool failed);
+
+  // ---- Merkle anti-entropy ----------------------------------------------
+  /// Daemon tick: pick the least-recently-synced replicated vnodes and
+  /// reconcile them with the other replica holders.
+  void anti_entropy_tick();
+  void sync_vnodes(std::shared_ptr<std::vector<VnodeId>> vnodes,
+                   std::size_t next);
+  void sync_vnode(VnodeId vnode, std::function<void()> done);
+  void sync_vnode_peer(VnodeId vnode,
+                       std::shared_ptr<std::vector<NodeId>> peers,
+                       std::size_t idx, std::function<void()> done);
+  void reconcile_with_peer(VnodeId vnode, NodeId peer,
+                           const VnodeDigestReply& rep,
+                           std::function<void()> done);
+  void pull_key(NodeId peer, const std::string& key, bool want_list,
+                std::function<void()> done);
+
   /// Rebalance daemon: runs on the lowest-id live node only.
   void rebalance_tick();
   void execute_moves(std::shared_ptr<std::vector<ring::VnodeMove>> moves,
@@ -166,6 +235,18 @@ class SednaNode : public sim::Host {
   std::set<VnodeId> recovering_;
   /// Nodes recently verified alive — damps repeated ZK existence checks.
   std::map<NodeId, SimTime> verified_alive_;
+
+  // Hinted-handoff state (volatile: dies with the process, by design —
+  // the Merkle path covers hints lost to coordinator crashes).
+  std::map<NodeId, HintQueue> hint_queues_;
+  std::size_t hints_pending_ = 0;
+  std::uint64_t hint_seq_ = 0;
+  sim::TimerHandle hint_timer_;
+
+  // Anti-entropy state.
+  std::map<VnodeId, SimTime> ae_last_synced_;
+  bool ae_in_flight_ = false;
+  sim::TimerHandle ae_timer_;
 };
 
 }  // namespace sedna::cluster

@@ -37,6 +37,17 @@ std::vector<VnodeId> VnodeTable::vnodes_of(NodeId n) const {
   return result;
 }
 
+std::vector<VnodeId> VnodeTable::replica_vnodes_of(NodeId n) const {
+  std::vector<VnodeId> result;
+  for (std::uint32_t v = 0; v < assignment_.size(); ++v) {
+    const std::vector<NodeId> set = replicas_for_vnode(v);
+    if (std::find(set.begin(), set.end(), n) != set.end()) {
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
 std::vector<NodeId> VnodeTable::nodes() const {
   std::vector<NodeId> result;
   for (const auto& [node, count] : counts()) result.push_back(node);

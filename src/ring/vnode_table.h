@@ -59,6 +59,12 @@ class VnodeTable {
   /// All vnodes assigned to `n`.
   [[nodiscard]] std::vector<VnodeId> vnodes_of(NodeId n) const;
 
+  /// All vnodes whose replica set (primary or clockwise successor copies)
+  /// includes `n` — the full set of vnodes the node holds data for, which
+  /// is what anti-entropy must iterate (a node syncs every vnode it
+  /// replicates, not just the ones it owns).
+  [[nodiscard]] std::vector<VnodeId> replica_vnodes_of(NodeId n) const;
+
   /// Distinct real nodes present in the table.
   [[nodiscard]] std::vector<NodeId> nodes() const;
 

@@ -28,6 +28,7 @@ SimDuration Network::delivery_delay(const Message& msg) {
 
 void Network::drop(const Message& msg, const char* why) {
   ++dropped_;
+  metrics_.counter(std::string("net.drops.") + why).add(1);
   // A traced message that vanishes leaves a zero-duration span on the
   // receiver's side of the tree — the trace explains the later timeout.
   sim_.tracer().instant(TraceContext{msg.trace_id, msg.span_id}, "net.drop",
@@ -42,7 +43,7 @@ void Network::send(Message msg) {
   const bool loopback = msg.from == msg.to;
 
   if (down_.contains(msg.from) || down_.contains(msg.to)) {
-    drop(msg, "node_down");
+    drop(msg, "crashed");
     return;
   }
   if (!loopback && partitions_.contains(edge(msg.from, msg.to))) {
@@ -60,7 +61,7 @@ void Network::send(Message msg) {
     // Re-check liveness at delivery time: the receiver may have crashed
     // while the message was in flight.
     if (down_.contains(m.to)) {
-      drop(m, "node_down");
+      drop(m, "crashed");
       return;
     }
     auto it = hosts_.find(m.to);

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/types.h"
 #include "sim/message.h"
 #include "sim/simulation.h"
@@ -77,6 +78,11 @@ class Network {
   [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
 
+  /// Drop totals broken down by reason (`net.drops.crashed`,
+  /// `net.drops.partitioned`, `net.drops.loss`, `net.drops.no_host`) plus
+  /// the aggregate flow counters, for the cluster metrics dump.
+  [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
+
  private:
   static std::pair<NodeId, NodeId> edge(NodeId a, NodeId b) {
     return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
@@ -96,6 +102,7 @@ class Network {
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t bytes_ = 0;
+  MetricRegistry metrics_;
 };
 
 }  // namespace sedna::sim

@@ -19,6 +19,35 @@ std::size_t round_up_pow2(std::size_t v) {
 
 }  // namespace
 
+/// Store-wide Merkle leaf cells: vnodes × buckets 64-bit accumulators.
+/// Every insert/remove/mutation XOR-toggles the owning cell with the
+/// item's content digest under the owning shard's lock, so a cell is the
+/// XOR of the digests of the items currently in that (vnode, bucket)
+/// slice — identical cells ⇒ identical replicated content.
+struct LocalStore::DigestTree {
+  DigestTree(std::uint32_t v, std::uint32_t b)
+      : vnodes(v),
+        buckets(b),
+        cells(std::make_unique<std::atomic<std::uint64_t>[]>(
+            static_cast<std::size_t>(v) * b)) {
+    const std::size_t n = static_cast<std::size_t>(v) * b;
+    for (std::size_t i = 0; i < n; ++i) {
+      cells[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void toggle(std::string_view key, std::uint64_t digest) {
+    const auto vnode = static_cast<std::size_t>(ring_hash(key) % vnodes);
+    const std::size_t bucket = digest_bucket_of(key, buckets);
+    cells[vnode * buckets + bucket].fetch_xor(digest,
+                                              std::memory_order_relaxed);
+  }
+
+  std::uint32_t vnodes;
+  std::uint32_t buckets;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+};
+
 struct LocalStore::Shard {
   mutable std::mutex mu;
   std::vector<Item*> buckets;
@@ -32,6 +61,8 @@ struct LocalStore::Shard {
   std::unordered_map<std::string, ChangeRecord> dirty;
   bool track_changes = false;
   MonitoredPredicate monitored_pred;
+  /// Borrowed from the owning store's digests_; null while digests are off.
+  DigestTree* digests = nullptr;
 
   ~Shard() {
     for (Item* head : buckets) {
@@ -87,18 +118,32 @@ struct LocalStore::Shard {
     const std::size_t n = it->total_bytes();
     bytes += n;
     slabs.charge(n);
+    if (digests != nullptr) {
+      digests->toggle(it->key, LocalStore::item_digest(*it));
+    }
   }
 
   void account_remove(Item* it) {
     const std::size_t n = it->total_bytes();
     bytes -= std::min(bytes, n);
     slabs.release(n);
+    if (digests != nullptr) {
+      digests->toggle(it->key, LocalStore::item_digest(*it));
+    }
   }
 
-  /// Call with the item's *pre-mutation* size; re-accounts afterwards.
-  void reaccount(std::size_t old_total, Item* it) {
+  /// Content digest of the item as it stands; 0 while digests are off.
+  /// Capture *before* mutating in place, then hand to reaccount().
+  [[nodiscard]] std::uint64_t pre_digest(const Item& it) const {
+    return digests != nullptr ? LocalStore::item_digest(it) : 0;
+  }
+
+  /// Call with the item's *pre-mutation* size and digest; re-accounts
+  /// (bytes, slabs, digest cell) afterwards.
+  void reaccount(std::size_t old_total, std::uint64_t old_digest, Item* it) {
     bytes -= std::min(bytes, old_total);
     slabs.release(old_total);
+    if (digests != nullptr) digests->toggle(it->key, old_digest);
     account_insert(it);
   }
 
@@ -274,11 +319,12 @@ Status LocalStore::write_latest(std::string_view key, std::string_view value,
   VersionedValue old_val = capture && had_old ? it->latest : VersionedValue{};
 
   const std::size_t old_total = it->total_bytes();
+  const std::uint64_t old_digest = s.pre_digest(*it);
   it->latest = VersionedValue{std::string(value), ts, flags};
   it->has_latest = true;
   if (ttl != 0) it->expires_at = now + ttl;
   ++it->cas;
-  s.reaccount(old_total, it);
+  s.reaccount(old_total, old_digest, it);
   s.lru_touch(it);
   ++s.stats.sets;
   if (capture) s.record_change(*it, had_old, std::move(old_val), false);
@@ -308,6 +354,7 @@ Status LocalStore::write_all(std::string_view key, NodeId source,
 
   const bool capture = s.should_capture(*it);
   const std::size_t old_total = it->total_bytes();
+  const std::uint64_t old_digest = s.pre_digest(*it);
   if (elem == it->value_list.end()) {
     it->value_list.push_back(SourceValue{source, std::string(value), ts});
   } else {
@@ -315,7 +362,7 @@ Status LocalStore::write_all(std::string_view key, NodeId source,
     elem->ts = ts;
   }
   ++it->cas;
-  s.reaccount(old_total, it);
+  s.reaccount(old_total, old_digest, it);
   s.lru_touch(it);
   ++s.stats.sets;
   if (capture) s.record_change(*it, it->has_latest, it->latest, false);
@@ -379,11 +426,12 @@ Status LocalStore::set_impl(std::string_view key, std::string_view value,
   VersionedValue old_val = capture && had_old ? it->latest : VersionedValue{};
 
   const std::size_t old_total = it->total_bytes();
+  const std::uint64_t old_digest = s.pre_digest(*it);
   it->latest = VersionedValue{std::string(value), next_timestamp(), flags};
   it->has_latest = true;
   it->expires_at = ttl == 0 ? 0 : now + ttl;
   ++it->cas;
-  s.reaccount(old_total, it);
+  s.reaccount(old_total, old_digest, it);
   s.lru_touch(it);
   ++s.stats.sets;
   if (capture) s.record_change(*it, had_old, std::move(old_val), false);
@@ -430,6 +478,7 @@ Status LocalStore::concat_impl(std::string_view key, std::string_view piece,
   const bool capture = s.should_capture(*it);
   VersionedValue old_val = capture ? it->latest : VersionedValue{};
   const std::size_t old_total = it->total_bytes();
+  const std::uint64_t old_digest = s.pre_digest(*it);
   if (after) {
     it->latest.value.append(piece);
   } else {
@@ -437,7 +486,7 @@ Status LocalStore::concat_impl(std::string_view key, std::string_view piece,
   }
   it->latest.ts = next_timestamp();
   ++it->cas;
-  s.reaccount(old_total, it);
+  s.reaccount(old_total, old_digest, it);
   s.lru_touch(it);
   ++s.stats.sets;
   if (capture) s.record_change(*it, true, std::move(old_val), false);
@@ -469,10 +518,11 @@ Status LocalStore::cas(std::string_view key, std::string_view value,
   const bool capture = s.should_capture(*it);
   VersionedValue old_val = capture ? it->latest : VersionedValue{};
   const std::size_t old_total = it->total_bytes();
+  const std::uint64_t old_digest = s.pre_digest(*it);
   it->latest.value.assign(value);
   it->latest.ts = next_timestamp();
   ++it->cas;
-  s.reaccount(old_total, it);
+  s.reaccount(old_total, old_digest, it);
   s.lru_touch(it);
   ++s.stats.cas_hits;
   ++s.stats.sets;
@@ -497,10 +547,11 @@ Result<std::uint64_t> LocalStore::incr(std::string_view key,
   const bool capture = s.should_capture(*it);
   VersionedValue old_val = capture ? it->latest : VersionedValue{};
   const std::size_t old_total = it->total_bytes();
+  const std::uint64_t old_digest = s.pre_digest(*it);
   it->latest.value = std::to_string(current);
   it->latest.ts = next_timestamp();
   ++it->cas;
-  s.reaccount(old_total, it);
+  s.reaccount(old_total, old_digest, it);
   s.lru_touch(it);
   ++s.stats.sets;
   if (capture) s.record_change(*it, true, std::move(old_val), false);
@@ -523,10 +574,11 @@ Result<std::uint64_t> LocalStore::decr(std::string_view key,
   const bool capture = s.should_capture(*it);
   VersionedValue old_val = capture ? it->latest : VersionedValue{};
   const std::size_t old_total = it->total_bytes();
+  const std::uint64_t old_digest = s.pre_digest(*it);
   it->latest.value = std::to_string(current);
   it->latest.ts = next_timestamp();
   ++it->cas;
-  s.reaccount(old_total, it);
+  s.reaccount(old_total, old_digest, it);
   s.lru_touch(it);
   ++s.stats.sets;
   if (capture) s.record_change(*it, true, std::move(old_val), false);
@@ -663,6 +715,11 @@ void LocalStore::clear() {
     for (Item*& head : s->buckets) {
       while (head != nullptr) {
         Item* next = head->hash_next;
+        // clear() bypasses Shard::erase, so keep the digest cells honest
+        // here too.
+        if (s->digests != nullptr) {
+          s->digests->toggle(head->key, item_digest(*head));
+        }
         delete head;
         head = next;
       }
@@ -683,6 +740,95 @@ void LocalStore::for_each(const std::function<void(const Item&)>& fn) const {
       for (Item* it = head; it != nullptr; it = it->hash_next) fn(*it);
     }
   }
+}
+
+void LocalStore::enable_digests(std::uint32_t vnodes,
+                                std::uint32_t buckets_per_vnode) {
+  auto tree = std::make_shared<DigestTree>(
+      std::max<std::uint32_t>(1, vnodes),
+      std::max<std::uint32_t>(1, buckets_per_vnode));
+  // Rebuild from current content (idempotent across node restarts: a
+  // fresh tree starts at zero and existing items toggle in exactly once).
+  for (auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    s->digests = tree.get();
+    for (Item* head : s->buckets) {
+      for (Item* it = head; it != nullptr; it = it->hash_next) {
+        tree->toggle(it->key, item_digest(*it));
+      }
+    }
+  }
+  digests_ = std::move(tree);
+}
+
+bool LocalStore::digests_enabled() const { return digests_ != nullptr; }
+
+std::uint32_t LocalStore::digest_buckets_per_vnode() const {
+  return digests_ ? digests_->buckets : 0;
+}
+
+std::uint64_t LocalStore::digest_root(VnodeId vnode) const {
+  if (!digests_ || vnode >= digests_->vnodes) return 0;
+  // hash_combine chain (not a plain XOR) so bucket position matters and
+  // coincidentally-cancelling buckets cannot fake a match.
+  std::uint64_t root = mix64(static_cast<std::uint64_t>(vnode) + 1);
+  const std::size_t base =
+      static_cast<std::size_t>(vnode) * digests_->buckets;
+  for (std::uint32_t b = 0; b < digests_->buckets; ++b) {
+    root = hash_combine(
+        root, digests_->cells[base + b].load(std::memory_order_relaxed));
+  }
+  return root;
+}
+
+std::vector<std::uint64_t> LocalStore::digest_buckets(VnodeId vnode) const {
+  std::vector<std::uint64_t> out;
+  if (!digests_ || vnode >= digests_->vnodes) return out;
+  const std::size_t base =
+      static_cast<std::size_t>(vnode) * digests_->buckets;
+  out.reserve(digests_->buckets);
+  for (std::uint32_t b = 0; b < digests_->buckets; ++b) {
+    out.push_back(digests_->cells[base + b].load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::uint32_t LocalStore::digest_bucket_of(std::string_view key,
+                                           std::uint32_t buckets) {
+  // Salted + remixed so the digest-bucket split is decorrelated from both
+  // ring placement (ring_hash) and shard/bucket selection (bucket_hash).
+  return static_cast<std::uint32_t>(
+      mix64(bucket_hash(key) ^ 0xa24baed4963ee407ULL) % buckets);
+}
+
+std::uint64_t LocalStore::item_digest(const Item& it) {
+  // Covers only replicated content: key, latest (value, ts, flags) and
+  // the per-source value list. LRU/cas/expiry bookkeeping legitimately
+  // differs between healthy replicas and must not perturb the digest.
+  std::uint64_t d = mix64(fnv1a64(it.key) ^ 0x2545f4914f6cdd1dULL);
+  if (it.has_latest) {
+    d = hash_combine(d, fnv1a64(it.latest.value));
+    d = hash_combine(d, it.latest.ts);
+    d = hash_combine(d, it.latest.flags);
+  }
+  return hash_combine(d, value_list_digest(it.value_list));
+}
+
+std::uint64_t LocalStore::value_list_digest(
+    const std::vector<SourceValue>& list) {
+  // XOR of per-source entry digests: order-independent, because replicas
+  // may have applied write_all updates from different sources in any
+  // interleaving. Sources are unique within a list, so entries cannot
+  // cancel each other.
+  std::uint64_t acc = 0;
+  for (const SourceValue& sv : list) {
+    std::uint64_t e =
+        mix64(static_cast<std::uint64_t>(sv.source) + 0x9e3779b97f4a7c15ULL);
+    e = hash_combine(e, fnv1a64(sv.value));
+    e = hash_combine(e, sv.ts);
+    acc ^= e;
+  }
+  return acc;
 }
 
 void LocalStore::for_each_matching(

@@ -147,8 +147,41 @@ class LocalStore {
   /// Monotonically increasing timestamp for local-origin writes.
   Timestamp next_timestamp();
 
+  // ---- Merkle anti-entropy digests --------------------------------------
+  //
+  // A per-vnode, per-bucket XOR-of-item-digests tree maintained
+  // incrementally on every mutation. Two replicas whose digest cells agree
+  // hold identical replicated content (key, latest value+ts+flags, value
+  // list) for that slice of the keyspace; a mismatched cell narrows the
+  // divergence to ~items/(vnodes*buckets) keys. Cheap enough to keep on
+  // for every simulated node: one 64-bit hash + one atomic XOR per write.
+
+  /// Enables (or rebuilds) the digest tree: `vnodes` must match the
+  /// cluster's total_vnodes so key→vnode mapping agrees across replicas.
+  void enable_digests(std::uint32_t vnodes,
+                      std::uint32_t buckets_per_vnode = 16);
+  [[nodiscard]] bool digests_enabled() const;
+  [[nodiscard]] std::uint32_t digest_buckets_per_vnode() const;
+  /// Root digest for one vnode (combines all its bucket cells).
+  [[nodiscard]] std::uint64_t digest_root(VnodeId vnode) const;
+  /// All bucket cells for one vnode.
+  [[nodiscard]] std::vector<std::uint64_t> digest_buckets(
+      VnodeId vnode) const;
+
+  /// Bucket index of `key` within its vnode's digest row. Decorrelated
+  /// from both ring placement and shard selection.
+  [[nodiscard]] static std::uint32_t digest_bucket_of(std::string_view key,
+                                                      std::uint32_t buckets);
+  /// Digest of one item's replicated content (excludes LRU/cas/expiry
+  /// bookkeeping, which legitimately differs between replicas).
+  [[nodiscard]] static std::uint64_t item_digest(const Item& it);
+  /// Order-independent digest of a write_all value list.
+  [[nodiscard]] static std::uint64_t value_list_digest(
+      const std::vector<SourceValue>& list);
+
  private:
   struct Shard;
+  struct DigestTree;
 
   Status set_impl(std::string_view key, std::string_view value,
                   std::uint32_t flags, std::uint64_t ttl, int mode_raw);
@@ -163,6 +196,7 @@ class LocalStore {
   ClockFn clock_;
   std::size_t shard_mask_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::shared_ptr<DigestTree> digests_;
   std::atomic<std::uint64_t> ts_seq_{0};
   std::atomic<Timestamp> last_ts_{0};
 };

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# One-shot gate: builds the regular tree, runs the whole ctest suite, then
+# repeats the run under AddressSanitizer + UBSan via run_sanitized.sh.
+# Usage: tests/run_all.sh [extra ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j "$(nproc)"
+
+(cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)" "$@")
+
+"${repo_root}/tests/run_sanitized.sh" "$@"
