@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/monitor.h"
 #include "cluster/sedna_cluster.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -30,6 +31,7 @@ struct NodeReport {
   std::uint64_t bytes = 0;
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
+  std::uint64_t misses = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t read_repairs = 0;
   std::uint64_t hints_pending = 0;
@@ -83,6 +85,7 @@ class ClusterInspector {
       for (std::size_t v = 0; v < status.size(); ++v) {
         row.reads += status[v].reads;
         row.writes += status[v].writes;
+        row.misses += status[v].misses;
         if (status[v].reads + status[v].writes > 0) {
           vnode_heat[static_cast<VnodeId>(v)] +=
               status[v].reads + status[v].writes;
@@ -212,6 +215,27 @@ class ClusterInspector {
     }
     registry.attach("network", cluster_.network().metrics());
     return registry.prometheus_text();
+  }
+
+  // ---- monitor surfaces (require cluster.enable_monitor()) --------------
+
+  /// Operator health dashboard; explains itself when no monitor is
+  /// attached so examples degrade gracefully.
+  [[nodiscard]] std::string dashboard() const {
+    const ClusterMonitor* mon = cluster_.monitor();
+    return mon ? mon->dashboard() : "(no monitor attached)\n";
+  }
+
+  /// CSV dump of the monitor's ring-buffer time series.
+  [[nodiscard]] std::string timeseries_csv() const {
+    const ClusterMonitor* mon = cluster_.monitor();
+    return mon ? mon->timeseries_csv() : std::string{};
+  }
+
+  /// Alert fire/resolve transition log.
+  [[nodiscard]] std::string alerts_text() const {
+    const ClusterMonitor* mon = cluster_.monitor();
+    return mon ? mon->alerts_text() : std::string{};
   }
 
   /// How many of `keys` live on fewer than `want` replicas right now,

@@ -1,0 +1,370 @@
+// ClusterMonitor: the health & alerting half of the paper's "cluster
+// status manager" (Fig. 2). Couples three pieces:
+//
+//   * a TimeSeriesRecorder sampling cluster-wide gauges (liveness, hint
+//     backlog, storage totals, request counters, latency quantiles) on a
+//     fixed sim-clock interval — byte-deterministic history;
+//   * an AlertEngine evaluating threshold + for-duration rules over that
+//     history, with fire/resolve transitions logged and emitted as trace
+//     events;
+//   * a per-node health state machine (healthy → degraded → suspect →
+//     dead) derived from liveness freshness and the hint backlog other
+//     coordinators hold against the node.
+//
+// The monitor only *reads* cluster state and consumes no randomness, so
+// enabling it cannot perturb the data path of a seeded run.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/sedna_cluster.h"
+#include "common/heavy_hitters.h"
+#include "common/timeseries.h"
+
+namespace sedna::cluster {
+
+struct MonitorConfig {
+  /// Sampling cadence for the time-series recorder (and health/alert
+  /// evaluation, which runs on the same tick).
+  SimDuration sample_interval = sim_ms(500);
+  /// Retained samples per series (ring buffer).
+  std::size_t capacity = 512;
+  /// A non-live node is kSuspect until it has been unseen this long,
+  /// then kDead.
+  SimDuration dead_after = sim_sec(3);
+  /// Default-rule hysteresis: consecutive breaching samples to fire,
+  /// consecutive clean samples to resolve.
+  std::uint32_t alert_for_samples = 2;
+  std::uint32_t alert_clear_samples = 2;
+  /// Install the built-in heartbeat-loss / replica-lag rules.
+  bool default_rules = true;
+};
+
+enum class HealthState : std::uint8_t { kHealthy, kDegraded, kSuspect, kDead };
+
+[[nodiscard]] constexpr const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kSuspect: return "suspect";
+    case HealthState::kDead: return "dead";
+  }
+  return "?";
+}
+
+struct HealthTransition {
+  SimTime at = 0;
+  NodeId node = kInvalidNode;
+  HealthState from = HealthState::kHealthy;
+  HealthState to = HealthState::kHealthy;
+};
+
+class ClusterMonitor {
+ public:
+  ClusterMonitor(SednaCluster& cluster, MonitorConfig config = {})
+      : cluster_(cluster),
+        config_(config),
+        recorder_(config.capacity == 0 ? 1 : config.capacity) {
+    register_series();
+    if (config_.default_rules) {
+      add_rule({"heartbeat-loss", "nodes_down", AlertOp::kGreaterThan, 0.0,
+                config_.alert_for_samples, config_.alert_clear_samples,
+                "critical"});
+      add_rule({"replica-lag", "hints_pending", AlertOp::kGreaterThan, 0.0,
+                config_.alert_for_samples, config_.alert_clear_samples,
+                "warning"});
+    }
+    alerts_.set_transition_hook(
+        [this](const AlertRule& rule, const AlertEvent& e) {
+          auto& tracer = cluster_.sim().tracer();
+          const auto ctx = tracer.start_trace(
+              "alert." + std::string(e.fired ? "fired" : "resolved") + "." +
+                  rule.name,
+              0, e.at);
+          tracer.end(ctx.span_id, e.at, rule.severity);
+        });
+    timer_ = cluster_.sim().schedule_periodic(
+        config_.sample_interval == 0 ? sim_ms(500) : config_.sample_interval,
+        [this] { tick(); });
+  }
+
+  ~ClusterMonitor() { timer_.cancel(); }
+
+  ClusterMonitor(const ClusterMonitor&) = delete;
+  ClusterMonitor& operator=(const ClusterMonitor&) = delete;
+
+  void add_rule(AlertRule rule) { alerts_.add_rule(std::move(rule)); }
+
+  /// One monitor round: sample every series, evaluate alert rules on the
+  /// new sample, advance the per-node health machines. Runs on the
+  /// periodic timer; tests may call it directly.
+  void tick() {
+    const SimTime now = cluster_.sim().now();
+    recorder_.sample(now);
+    alerts_.evaluate(recorder_, now);
+    update_health(now);
+  }
+
+  [[nodiscard]] const TimeSeriesRecorder& recorder() const {
+    return recorder_;
+  }
+  [[nodiscard]] const AlertEngine& alerts() const { return alerts_; }
+
+  [[nodiscard]] HealthState health(NodeId node) const {
+    const auto it = health_.find(node);
+    return it == health_.end() ? HealthState::kHealthy : it->second.state;
+  }
+  /// Every health transition observed, oldest first.
+  [[nodiscard]] const std::vector<HealthTransition>& health_log() const {
+    return health_log_;
+  }
+
+  [[nodiscard]] std::string timeseries_csv() const { return recorder_.csv(); }
+  [[nodiscard]] std::string alerts_text() const { return alerts_.text(); }
+
+  /// Operator dashboard: per-node health, rule states, the newest sample
+  /// of every series, cluster-wide hot keys, and the transition logs.
+  /// Built from deterministic state only.
+  [[nodiscard]] std::string dashboard() const {
+    std::string out;
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "=== Sedna monitor dashboard @ %llu us ===\n",
+                  static_cast<unsigned long long>(cluster_.sim().now()));
+    out += buf;
+
+    out += "health:";
+    for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+      const NodeId id = cluster_.node(i).id();
+      std::snprintf(buf, sizeof buf, " node-%u=%s", id,
+                    to_string(health(id)));
+      out += buf;
+    }
+    out += "\n";
+
+    out += "alerts:";
+    for (const AlertRule& rule : alerts_.rules()) {
+      const AlertState st = alerts_.state(rule.name);
+      const char* label = st == AlertState::kFiring    ? "FIRING"
+                          : st == AlertState::kPending ? "pending"
+                                                       : "ok";
+      std::snprintf(buf, sizeof buf, " %s=%s", rule.name.c_str(), label);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof buf, " (%zu transitions)\n",
+                  alerts_.events().size());
+    out += buf;
+
+    if (recorder_.size() > 0) {
+      out += "last sample:";
+      const std::size_t newest = recorder_.size() - 1;
+      const auto& names = recorder_.series_names();
+      for (std::size_t s = 0; s < names.size(); ++s) {
+        std::snprintf(buf, sizeof buf, " %s=%.6g", names[s].c_str(),
+                      recorder_.value_at(newest, s));
+        out += buf;
+      }
+      out += "\n";
+    }
+
+    const auto hot = hot_keys_merged(5);
+    if (!hot.empty()) {
+      out += "hot keys:";
+      for (const auto& e : hot) {
+        std::snprintf(buf, sizeof buf, " %s(%llu)", e.key.c_str(),
+                      static_cast<unsigned long long>(e.count));
+        out += buf;
+      }
+      out += "\n";
+    }
+
+    if (!health_log_.empty()) {
+      out += "health log:\n";
+      for (const HealthTransition& t : health_log_) {
+        std::snprintf(buf, sizeof buf, "[%10llu us] node-%u %s -> %s\n",
+                      static_cast<unsigned long long>(t.at), t.node,
+                      to_string(t.from), to_string(t.to));
+        out += buf;
+      }
+    }
+    if (!alerts_.events().empty()) {
+      out += "alert log:\n" + alerts_.text();
+    }
+    return out;
+  }
+
+  /// Cluster-wide top hot keys: every node's SpaceSaving sketch merged by
+  /// key (count-summed), sorted (count desc, key asc).
+  [[nodiscard]] std::vector<SpaceSavingSketch::Entry> hot_keys_merged(
+      std::size_t k) const {
+    std::map<std::string, SpaceSavingSketch::Entry> merged;
+    for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+      for (const auto& e : cluster_.node(i).hot_keys().entries()) {
+        auto& slot = merged[e.key];
+        slot.key = e.key;
+        slot.count += e.count;
+        slot.error += e.error;
+      }
+    }
+    std::vector<SpaceSavingSketch::Entry> out;
+    out.reserve(merged.size());
+    for (auto& [key, e] : merged) out.push_back(std::move(e));
+    std::sort(out.begin(), out.end(),
+              [](const SpaceSavingSketch::Entry& a,
+                 const SpaceSavingSketch::Entry& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.key < b.key;
+              });
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+ private:
+  struct NodeHealth {
+    HealthState state = HealthState::kHealthy;
+    SimTime last_alive = 0;
+  };
+
+  void register_series() {
+    recorder_.add_series("nodes_down", [this] {
+      double n = 0;
+      for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+        if (!cluster_.node(i).alive()) ++n;
+      }
+      return n;
+    });
+    recorder_.add_series("hints_pending", [this] {
+      double n = 0;
+      for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+        auto& node = cluster_.node(i);
+        if (node.alive()) n += static_cast<double>(node.hints_pending());
+      }
+      return n;
+    });
+    recorder_.add_series("total_items", [this] {
+      double n = 0;
+      for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+        n += static_cast<double>(
+            cluster_.node(i).local_store().stats().curr_items);
+      }
+      return n;
+    });
+    recorder_.add_series("total_bytes", [this] {
+      double n = 0;
+      for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+        n += static_cast<double>(cluster_.node(i).local_store().stats().bytes);
+      }
+      return n;
+    });
+    recorder_.add_series("reads", [this] { return vnode_sum(kFieldReads); });
+    recorder_.add_series("writes",
+                         [this] { return vnode_sum(kFieldWrites); });
+    recorder_.add_series("misses",
+                         [this] { return vnode_sum(kFieldMisses); });
+    recorder_.add_series("read_p99_us", [this] {
+      return merged_quantile("coordinator.read_latency_us", 0.99);
+    });
+    recorder_.add_series("write_p99_us", [this] {
+      return merged_quantile("coordinator.write_latency_us", 0.99);
+    });
+    recorder_.add_series("recoveries", [this] {
+      return counter_sum("failure.recoveries_completed");
+    });
+    recorder_.add_series("keys_repaired", [this] {
+      return counter_sum("antientropy.keys_pushed") +
+             counter_sum("antientropy.keys_pulled");
+    });
+  }
+
+  enum VnodeField { kFieldReads, kFieldWrites, kFieldMisses };
+
+  [[nodiscard]] double vnode_sum(VnodeField field) const {
+    double n = 0;
+    for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+      for (const auto& vs : cluster_.node(i).vnode_status()) {
+        switch (field) {
+          case kFieldReads: n += static_cast<double>(vs.reads); break;
+          case kFieldWrites: n += static_cast<double>(vs.writes); break;
+          case kFieldMisses: n += static_cast<double>(vs.misses); break;
+        }
+      }
+    }
+    return n;
+  }
+
+  [[nodiscard]] double counter_sum(const std::string& name) const {
+    double n = 0;
+    for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+      const auto& counters = cluster_.node(i).metrics().counters();
+      const auto it = counters.find(name);
+      if (it != counters.end()) n += static_cast<double>(it->second.value());
+    }
+    return n;
+  }
+
+  [[nodiscard]] double merged_quantile(const std::string& name,
+                                       double q) const {
+    Histogram merged;
+    for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+      const auto& histos = cluster_.node(i).metrics().histograms();
+      const auto it = histos.find(name);
+      if (it != histos.end()) merged.merge(it->second);
+    }
+    return merged.quantile(q);
+  }
+
+  /// Hints queued by live coordinators *against* `target` — the backlog
+  /// the node must absorb before it is caught up.
+  [[nodiscard]] std::uint64_t backlog_for(NodeId target) const {
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+      auto& node = cluster_.node(i);
+      if (node.alive() && node.id() != target) {
+        n += node.hints_pending_for(target);
+      }
+    }
+    return n;
+  }
+
+  void update_health(SimTime now) {
+    for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+      auto& node = cluster_.node(i);
+      const NodeId id = node.id();
+      NodeHealth& h = health_[id];
+      const bool up = node.alive() && node.ready();
+      if (up) h.last_alive = now;
+      HealthState next;
+      if (up) {
+        next = backlog_for(id) > 0 ? HealthState::kDegraded
+                                   : HealthState::kHealthy;
+      } else {
+        next = now - h.last_alive >= config_.dead_after
+                   ? HealthState::kDead
+                   : HealthState::kSuspect;
+      }
+      if (next != h.state) {
+        health_log_.push_back(HealthTransition{now, id, h.state, next});
+        auto& tracer = cluster_.sim().tracer();
+        const auto ctx = tracer.start_trace(
+            "health.node-" + std::to_string(id), id, now);
+        tracer.end(ctx.span_id, now, to_string(next));
+        h.state = next;
+      }
+    }
+  }
+
+  SednaCluster& cluster_;
+  MonitorConfig config_;
+  TimeSeriesRecorder recorder_;
+  AlertEngine alerts_;
+  std::map<NodeId, NodeHealth> health_;
+  std::vector<HealthTransition> health_log_;
+  sim::TimerHandle timer_;
+};
+
+}  // namespace sedna::cluster

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cluster/monitor.h"
 #include "ring/rebalancer.h"
 
 namespace sedna::cluster {
@@ -38,6 +39,15 @@ SednaCluster::SednaCluster(SednaClusterConfig config)
       net_(sim_, config_.network) {}
 
 SednaCluster::~SednaCluster() = default;
+
+ClusterMonitor& SednaCluster::enable_monitor(MonitorConfig config) {
+  monitor_ = std::make_unique<ClusterMonitor>(*this, config);
+  return *monitor_;
+}
+
+ClusterMonitor& SednaCluster::enable_monitor() {
+  return enable_monitor(MonitorConfig{});
+}
 
 std::vector<NodeId> SednaCluster::zk_ids() const {
   std::vector<NodeId> ids;

@@ -27,6 +27,9 @@
 
 namespace sedna::cluster {
 
+class ClusterMonitor;
+struct MonitorConfig;
+
 struct SednaClusterConfig {
   std::uint32_t zk_members = 3;
   std::uint32_t data_nodes = 6;
@@ -79,6 +82,14 @@ class SednaCluster {
   void crash_node(std::size_t i) { nodes_[i]->crash(); }
   void restart_node(std::size_t i);
 
+  /// Attaches (or replaces) the health/alerting monitor; it starts
+  /// sampling on its sim-clock interval immediately. Read-only over
+  /// cluster state, so enabling it never perturbs the data path.
+  ClusterMonitor& enable_monitor(MonitorConfig config);
+  ClusterMonitor& enable_monitor();
+  /// The attached monitor, or nullptr if enable_monitor was never called.
+  [[nodiscard]] ClusterMonitor* monitor() { return monitor_.get(); }
+
   // ---- synchronous wrappers (drive the event loop) ----------------------
   bool run_until(const std::function<bool()>& pred);
   void run_for(SimDuration d) { sim_.run_for(d); }
@@ -102,6 +113,7 @@ class SednaCluster {
   std::vector<std::unique_ptr<zk::ZkServer>> zk_;
   std::vector<std::unique_ptr<SednaNode>> nodes_;
   std::vector<std::unique_ptr<SednaClient>> clients_;
+  std::unique_ptr<ClusterMonitor> monitor_;
   NodeId next_client_id_ = 1000;
   NodeId next_data_id_ = 100;
 };

@@ -26,7 +26,8 @@ SednaNode::SednaNode(sim::Network& net, NodeId id, SednaNodeConfig config)
             zc.ensemble = config_.zk_ensemble;
             return zc;
           }()),
-      metadata_(zk_, *this) {
+      metadata_(zk_, *this),
+      hot_keys_(config_.hot_key_capacity) {
   store_ = std::make_unique<store::LocalStore>(
       config_.store, [this] { return sim().now(); });
   if (config_.persistence.mode != wal::PersistMode::kNone) {
@@ -231,11 +232,24 @@ void SednaNode::schedule_flush() {
   });
 }
 
+void SednaNode::refresh_vnode_status() {
+  const auto bytes = store_->vnode_bytes_all();
+  if (bytes.empty()) return;  // digests off: keep the write-volume estimate
+  if (vnode_status_.size() < bytes.size()) {
+    vnode_status_.resize(bytes.size());
+  }
+  for (std::size_t v = 0; v < bytes.size(); ++v) {
+    vnode_status_[v].capacity_bytes = bytes[v];
+  }
+}
+
 void SednaNode::report_load() {
   if (!alive() || !ready_) return;
   // The row is computed from the per-vnode statuses (paper III.B: "a[n]
   // imbalance table for all the real nodes computed from the virtual
-  // nodes' status"), with resident bytes taken from the store.
+  // nodes' status"), with resident bytes taken from the store. Only
+  // vnodes with activity get a detail row, so the row stays compact.
+  refresh_vnode_status();
   ring::RealNodeLoad row;
   row.node = id();
   row.vnode_count = 0;
@@ -243,9 +257,17 @@ void SednaNode::report_load() {
     if (node == id()) row.vnode_count = count;
   }
   row.capacity_bytes = store_->stats().bytes;
-  for (const auto& vs : vnode_status_) {
+  for (std::size_t v = 0; v < vnode_status_.size(); ++v) {
+    const ring::VnodeStatus& vs = vnode_status_[v];
     row.reads += vs.reads;
     row.writes += vs.writes;
+    row.misses += vs.misses;
+    if (vs.reads != 0 || vs.writes != 0 || vs.misses != 0 ||
+        vs.capacity_bytes != 0) {
+      row.vnodes.push_back(ring::VnodeLoadRow{
+          static_cast<VnodeId>(v), vs.capacity_bytes, vs.reads, vs.writes,
+          vs.misses});
+    }
   }
   const std::string path =
       std::string(kZkRealNodes) + "/load-" + std::to_string(id());
@@ -321,6 +343,8 @@ void SednaNode::on_crash() {
   store_->clear();
   recovering_.clear();
   verified_alive_.clear();
+  vnode_status_.clear();
+  hot_keys_.clear();
   ready_ = false;
   // Hints are coordinator RAM: they die with the process. The Merkle
   // anti-entropy pass is what makes that loss survivable.
@@ -359,8 +383,9 @@ StatusCode SednaNode::apply_write(const WriteRequest& req) {
 }
 
 ReadReply SednaNode::local_read(const ReadRequest& req) {
+  VnodeId v = kInvalidVnode;
   if (metadata_.ready()) {
-    const VnodeId v = metadata_.table().vnode_for_key(req.key);
+    v = metadata_.table().vnode_for_key(req.key);
     if (vnode_status_.size() < metadata_.table().total_vnodes()) {
       vnode_status_.resize(metadata_.table().total_vnodes());
     }
@@ -382,6 +407,9 @@ ReadReply SednaNode::local_read(const ReadRequest& req) {
     } else {
       rep.status = got.status().code();
     }
+  }
+  if (v != kInvalidVnode && rep.status != StatusCode::kOk) {
+    ++vnode_status_[v].misses;
   }
   return rep;
 }
@@ -430,6 +458,7 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
   const auto replicas = metadata_.table().replicas_for_vnode(vnode);
   const auto cfg = metadata_.config();
   metrics_.counter("coordinator.writes").add(1);
+  if (config_.hot_key_capacity > 0) hot_keys_.record(req.key);
   const SimTime started = now();
   const SpanId coord_span = begin_span("coord.write");
   const TraceContext prev_ctx = enter_span(coord_span);
@@ -521,6 +550,7 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
   const auto replicas = metadata_.table().replicas_for_vnode(vnode);
   const auto cfg = metadata_.config();
   metrics_.counter("coordinator.reads").add(1);
+  if (config_.hot_key_capacity > 0) hot_keys_.record(req.key);
   const SimTime started = now();
   const SpanId coord_span = begin_span("coord.read");
   const TraceContext prev_ctx = enter_span(coord_span);

@@ -29,6 +29,7 @@
 
 #include "cluster/metadata.h"
 #include "cluster/protocol.h"
+#include "common/heavy_hitters.h"
 #include "common/metrics.h"
 #include "ring/imbalance.h"
 #include "ring/rebalancer.h"
@@ -82,6 +83,10 @@ struct SednaNodeConfig {
   std::uint32_t digest_buckets = 16;
   /// Key summaries per digest reply (bounds message size per round).
   std::uint32_t anti_entropy_max_keys = 512;
+  /// Tracked entries in the coordinator's SpaceSaving hot-key sketch
+  /// (keys whose client-request frequency exceeds requests/capacity are
+  /// guaranteed tracked). 0 disables hot-key detection.
+  std::size_t hot_key_capacity = 64;
 
   zk::ZkClientConfig zk_client;  // ensemble is filled from zk_ensemble
   sim::HostConfig host;
@@ -121,6 +126,21 @@ class SednaNode : public sim::Host {
 
   /// Hints currently queued for later delivery (all targets).
   [[nodiscard]] std::size_t hints_pending() const { return hints_pending_; }
+  /// Hints queued for one specific target (0 if none).
+  [[nodiscard]] std::size_t hints_pending_for(NodeId target) const {
+    const auto it = hint_queues_.find(target);
+    return it == hint_queues_.end() ? 0 : it->second.hints.size();
+  }
+
+  /// Coordinator-side hot-key sketch over client read/write requests.
+  [[nodiscard]] const SpaceSavingSketch& hot_keys() const {
+    return hot_keys_;
+  }
+
+  /// Re-derives per-vnode resident bytes from the store's digest-tree
+  /// tallies (exact, eviction-aware), replacing the rough write-volume
+  /// estimate accumulated in apply_write.
+  void refresh_vnode_status();
 
  protected:
   void on_message(const sim::Message& msg) override;
@@ -229,8 +249,12 @@ class SednaNode : public sim::Host {
   MetricRegistry metrics_;
   bool ready_ = false;
   std::uint16_t write_seq_ = 0;
-  /// Per-vnode capacity/read/write counters, sized at metadata load.
+  /// Per-vnode capacity/read/write/miss counters, sized at metadata load.
   std::vector<ring::VnodeStatus> vnode_status_;
+  /// Top-k hot keys by client-request frequency (coordinator view, so
+  /// bench ground truth — client requests per key — matches what the
+  /// sketch observes without replica-fan-out inflation).
+  SpaceSavingSketch hot_keys_;
   /// Vnodes with an in-flight recovery (dedupe concurrent suspicion).
   std::set<VnodeId> recovering_;
   /// Nodes recently verified alive — damps repeated ZK existence checks.

@@ -169,24 +169,41 @@ class MetricsRegistry {
       for (const auto& [label, c] : by_label) {
         std::snprintf(buf, sizeof buf, " %llu\n",
                       static_cast<unsigned long long>(c->value()));
-        out += metric + "{node=\"" + label + "\"}" + buf;
+        out += metric + "{node=\"" + escape_label_value(label) + "\"}" + buf;
       }
     }
     for (const auto& [name, by_label] : histos) {
       const std::string metric = prometheus_name(name);
       out += "# TYPE " + metric + " summary\n";
       for (const auto& [label, h] : by_label) {
+        const std::string esc = escape_label_value(label);
         for (const double q : {0.5, 0.95, 0.99}) {
           std::snprintf(buf, sizeof buf, ",quantile=\"%g\"} %.6g\n", q,
                         h->quantile(q));
-          out += metric + "{node=\"" + label + "\"" + buf;
+          out += metric + "{node=\"" + esc + "\"" + buf;
         }
         std::snprintf(buf, sizeof buf, " %llu\n",
                       static_cast<unsigned long long>(h->sum()));
-        out += metric + "_sum{node=\"" + label + "\"}" + buf;
+        out += metric + "_sum{node=\"" + esc + "\"}" + buf;
         std::snprintf(buf, sizeof buf, " %llu\n",
                       static_cast<unsigned long long>(h->count()));
-        out += metric + "_count{node=\"" + label + "\"}" + buf;
+        out += metric + "_count{node=\"" + esc + "\"}" + buf;
+      }
+    }
+    return out;
+  }
+
+  /// Prometheus label-value escaping: backslash, double-quote and newline
+  /// must be escaped or a hostile label breaks the exposition line format.
+  static std::string escape_label_value(const std::string& value) {
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+      switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
       }
     }
     return out;

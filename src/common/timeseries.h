@@ -1,0 +1,247 @@
+// Fixed-interval time-series ring buffer + declarative alert engine.
+//
+// TimeSeriesRecorder snapshots a set of named gauges (arbitrary
+// double-returning callbacks — counter values, histogram quantiles,
+// cluster-derived gauges) at fixed sim-clock intervals into a bounded
+// ring. Because sampling is driven by the deterministic simulation clock
+// and reads only deterministic state, the CSV export is byte-identical
+// across identically-seeded runs.
+//
+// AlertEngine evaluates threshold rules with for-duration semantics over
+// the newest samples: a rule fires after `for_samples` consecutive
+// breaching samples and resolves after `clear_samples` consecutive
+// non-breaching ones (hysteresis, so a flapping series does not spam
+// transitions). Transitions are recorded as an event log and surfaced to
+// an optional hook (used to emit trace events).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sedna {
+
+class TimeSeriesRecorder {
+ public:
+  struct Row {
+    SimTime at = 0;
+    std::vector<double> values;
+  };
+
+  explicit TimeSeriesRecorder(std::size_t capacity = 512)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Registers a gauge; call before the first sample(). Returns the
+  /// series' column index.
+  std::size_t add_series(std::string name, std::function<double()> probe) {
+    names_.push_back(std::move(name));
+    probes_.push_back(std::move(probe));
+    return names_.size() - 1;
+  }
+
+  /// Takes one snapshot of every registered series at time `at`.
+  void sample(SimTime at) {
+    Row row;
+    row.at = at;
+    row.values.reserve(probes_.size());
+    for (const auto& probe : probes_) row.values.push_back(probe());
+    if (rows_.size() < capacity_) {
+      rows_.push_back(std::move(row));
+    } else {
+      rows_[next_] = std::move(row);
+      next_ = (next_ + 1) % capacity_;
+    }
+    ++total_samples_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Samples taken over the recorder's lifetime (>= size() once wrapped).
+  [[nodiscard]] std::uint64_t total_samples() const { return total_samples_; }
+  [[nodiscard]] const std::vector<std::string>& series_names() const {
+    return names_;
+  }
+
+  /// Index of a named series, or npos.
+  [[nodiscard]] std::size_t series_index(const std::string& name) const {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return i;
+    }
+    return npos;
+  }
+
+  /// Rows in chronological order; i = 0 is the oldest retained sample.
+  [[nodiscard]] const Row& row(std::size_t i) const {
+    return rows_[(next_ + i) % rows_.size()];
+  }
+  [[nodiscard]] SimTime time_at(std::size_t i) const { return row(i).at; }
+  [[nodiscard]] double value_at(std::size_t i, std::size_t series) const {
+    return row(i).values[series];
+  }
+
+  /// CSV export: header `time_us,<series...>`, one row per retained
+  /// sample in chronological order. %.6g keeps the format stable.
+  [[nodiscard]] std::string csv() const {
+    std::string out = "time_us";
+    for (const auto& name : names_) out += "," + name;
+    out += "\n";
+    char buf[64];
+    for (std::size_t i = 0; i < size(); ++i) {
+      const Row& r = row(i);
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(r.at));
+      out += buf;
+      for (const double v : r.values) {
+        std::snprintf(buf, sizeof buf, ",%.6g", v);
+        out += buf;
+      }
+      out += "\n";
+    }
+    return out;
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::string> names_;
+  std::vector<std::function<double()>> probes_;
+  std::vector<Row> rows_;
+  std::size_t next_ = 0;  // ring head once full
+  std::uint64_t total_samples_ = 0;
+};
+
+// ---- alerting ---------------------------------------------------------------
+
+enum class AlertOp : std::uint8_t { kGreaterThan, kLessThan };
+
+struct AlertRule {
+  std::string name;
+  /// Series (by TimeSeriesRecorder name) the rule watches.
+  std::string series;
+  AlertOp op = AlertOp::kGreaterThan;
+  double threshold = 0.0;
+  /// Consecutive breaching samples before the rule fires.
+  std::uint32_t for_samples = 1;
+  /// Consecutive non-breaching samples before a firing rule resolves.
+  std::uint32_t clear_samples = 1;
+  std::string severity = "warning";
+};
+
+enum class AlertState : std::uint8_t { kInactive, kPending, kFiring };
+
+struct AlertEvent {
+  SimTime at = 0;
+  std::string rule;
+  bool fired = false;  // false → resolved
+  double value = 0.0;
+};
+
+class AlertEngine {
+ public:
+  /// Called on every fire/resolve transition (e.g. to emit trace events).
+  using TransitionHook =
+      std::function<void(const AlertRule&, const AlertEvent&)>;
+
+  void add_rule(AlertRule rule) {
+    states_.push_back(RuleState{});
+    rules_.push_back(std::move(rule));
+  }
+
+  void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
+
+  /// Evaluates every rule against the newest sample in `recorder`.
+  /// Call once per recorder sample, after it.
+  void evaluate(const TimeSeriesRecorder& recorder, SimTime now) {
+    if (recorder.size() == 0) return;
+    const std::size_t newest = recorder.size() - 1;
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      const AlertRule& rule = rules_[i];
+      RuleState& st = states_[i];
+      const std::size_t col = recorder.series_index(rule.series);
+      if (col == TimeSeriesRecorder::npos) continue;
+      const double v = recorder.value_at(newest, col);
+      const bool breach = rule.op == AlertOp::kGreaterThan ? v > rule.threshold
+                                                           : v < rule.threshold;
+      if (breach) {
+        st.clear_streak = 0;
+        ++st.breach_streak;
+        if (st.state != AlertState::kFiring) {
+          st.state = st.breach_streak >= rule.for_samples ? AlertState::kFiring
+                                                          : AlertState::kPending;
+          if (st.state == AlertState::kFiring) transition(rule, now, true, v);
+        }
+      } else {
+        st.breach_streak = 0;
+        if (st.state == AlertState::kFiring) {
+          ++st.clear_streak;
+          if (st.clear_streak >= rule.clear_samples) {
+            st.state = AlertState::kInactive;
+            st.clear_streak = 0;
+            transition(rule, now, false, v);
+          }
+        } else {
+          st.state = AlertState::kInactive;
+          st.clear_streak = 0;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<AlertRule>& rules() const { return rules_; }
+  [[nodiscard]] AlertState state(const std::string& name) const {
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      if (rules_[i].name == name) return states_[i].state;
+    }
+    return AlertState::kInactive;
+  }
+  [[nodiscard]] bool firing(const std::string& name) const {
+    return state(name) == AlertState::kFiring;
+  }
+  [[nodiscard]] std::size_t firing_count() const {
+    std::size_t n = 0;
+    for (const auto& st : states_) n += st.state == AlertState::kFiring;
+    return n;
+  }
+  /// Full fire/resolve transition history, oldest first.
+  [[nodiscard]] const std::vector<AlertEvent>& events() const {
+    return events_;
+  }
+
+  /// Human-readable transition log, one line per event.
+  [[nodiscard]] std::string text() const {
+    std::string out;
+    char buf[160];
+    for (const AlertEvent& e : events_) {
+      std::snprintf(buf, sizeof buf, "[%10llu us] %-8s %s (value=%.6g)\n",
+                    static_cast<unsigned long long>(e.at),
+                    e.fired ? "FIRING" : "RESOLVED", e.rule.c_str(), e.value);
+      out += buf;
+    }
+    return out;
+  }
+
+ private:
+  struct RuleState {
+    AlertState state = AlertState::kInactive;
+    std::uint32_t breach_streak = 0;
+    std::uint32_t clear_streak = 0;
+  };
+
+  void transition(const AlertRule& rule, SimTime now, bool fired, double v) {
+    AlertEvent e{now, rule.name, fired, v};
+    events_.push_back(e);
+    if (hook_) hook_(rule, e);
+  }
+
+  std::vector<AlertRule> rules_;
+  std::vector<RuleState> states_;
+  std::vector<AlertEvent> events_;
+  TransitionHook hook_;
+};
+
+}  // namespace sedna

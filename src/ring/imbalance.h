@@ -27,30 +27,62 @@ struct VnodeStatus {
   std::uint64_t capacity_bytes = 0;
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
+  /// Local reads that found no value (miss on this vnode's slice).
+  std::uint64_t misses = 0;
 
   VnodeStatus& operator+=(const VnodeStatus& o) {
     capacity_bytes += o.capacity_bytes;
     reads += o.reads;
     writes += o.writes;
+    misses += o.misses;
     return *this;
   }
 };
 
-/// One row of the imbalance table: a real node's aggregate.
+/// One vnode's counters inside a RealNodeLoad row: the per-vnode detail
+/// the paper's rebalancer needs to pick which slice to move, not just
+/// which node is hot.
+struct VnodeLoadRow {
+  VnodeId vnode = 0;
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t misses = 0;
+
+  friend bool operator==(const VnodeLoadRow& a, const VnodeLoadRow& b) {
+    return a.vnode == b.vnode && a.capacity_bytes == b.capacity_bytes &&
+           a.reads == b.reads && a.writes == b.writes && a.misses == b.misses;
+  }
+};
+
+/// One row of the imbalance table: a real node's aggregate plus the
+/// per-vnode breakdown (only vnodes with activity are listed, so the row
+/// stays "quite small comparing with the virtual nodes number").
 struct RealNodeLoad {
   NodeId node = kInvalidNode;
   std::uint32_t vnode_count = 0;
   std::uint64_t capacity_bytes = 0;
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
+  std::uint64_t misses = 0;
+  std::vector<VnodeLoadRow> vnodes;
 
   [[nodiscard]] std::string encode() const {
-    BinaryWriter w(40);
+    BinaryWriter w(56 + vnodes.size() * 40);
     w.put_u32(node);
     w.put_u32(vnode_count);
     w.put_u64(capacity_bytes);
     w.put_u64(reads);
     w.put_u64(writes);
+    w.put_u64(misses);
+    w.put_u32(static_cast<std::uint32_t>(vnodes.size()));
+    for (const VnodeLoadRow& v : vnodes) {
+      w.put_u32(v.vnode);
+      w.put_u64(v.capacity_bytes);
+      w.put_u64(v.reads);
+      w.put_u64(v.writes);
+      w.put_u64(v.misses);
+    }
     return std::move(w).take();
   }
 
@@ -62,7 +94,20 @@ struct RealNodeLoad {
     row.capacity_bytes = r.get_u64();
     row.reads = r.get_u64();
     row.writes = r.get_u64();
+    row.misses = r.get_u64();
+    const std::uint32_t n = r.get_u32();
     if (r.failed()) return Status::Corruption("bad load row");
+    row.vnodes.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      VnodeLoadRow v;
+      v.vnode = r.get_u32();
+      v.capacity_bytes = r.get_u64();
+      v.reads = r.get_u64();
+      v.writes = r.get_u64();
+      v.misses = r.get_u64();
+      if (r.failed()) return Status::Corruption("bad vnode load row");
+      row.vnodes.push_back(v);
+    }
     return row;
   }
 };
@@ -81,6 +126,9 @@ class ImbalanceTable {
   /// (0 = perfectly balanced). Dimension selected by pointer-to-member.
   template <typename T>
   [[nodiscard]] double imbalance(T RealNodeLoad::* field) const {
+    // Degenerate tables (no nodes, a single node, or all-zero loads) are
+    // balanced by definition; without these guards the CV math divides by
+    // zero and reports NaN, which then poisons every comparison downstream.
     if (rows_.size() < 2) return 0.0;
     double sum = 0.0;
     for (const auto& [node, row] : rows_) {
@@ -94,7 +142,8 @@ class ImbalanceTable {
       var += d * d;
     }
     var /= static_cast<double>(rows_.size());
-    return std::sqrt(var) / mean;
+    const double cv = std::sqrt(var) / mean;
+    return std::isfinite(cv) ? cv : 0.0;
   }
 
   [[nodiscard]] double capacity_imbalance() const {

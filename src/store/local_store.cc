@@ -29,10 +29,14 @@ struct LocalStore::DigestTree {
       : vnodes(v),
         buckets(b),
         cells(std::make_unique<std::atomic<std::uint64_t>[]>(
-            static_cast<std::size_t>(v) * b)) {
+            static_cast<std::size_t>(v) * b)),
+        vbytes(std::make_unique<std::atomic<std::uint64_t>[]>(v)) {
     const std::size_t n = static_cast<std::size_t>(v) * b;
     for (std::size_t i = 0; i < n; ++i) {
       cells[i].store(0, std::memory_order_relaxed);
+    }
+    for (std::uint32_t i = 0; i < v; ++i) {
+      vbytes[i].store(0, std::memory_order_relaxed);
     }
   }
 
@@ -43,9 +47,20 @@ struct LocalStore::DigestTree {
                                               std::memory_order_relaxed);
   }
 
+  // Per-vnode resident-byte tallies, maintained on the same mutation
+  // paths as the digest cells (so they track the replicated content
+  // exactly). Feeds the imbalance row's per-vnode capacity column.
+  void add_bytes(std::string_view key, std::uint64_t n) {
+    vbytes[ring_hash(key) % vnodes].fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub_bytes(std::string_view key, std::uint64_t n) {
+    vbytes[ring_hash(key) % vnodes].fetch_sub(n, std::memory_order_relaxed);
+  }
+
   std::uint32_t vnodes;
   std::uint32_t buckets;
   std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> vbytes;
 };
 
 struct LocalStore::Shard {
@@ -120,6 +135,7 @@ struct LocalStore::Shard {
     slabs.charge(n);
     if (digests != nullptr) {
       digests->toggle(it->key, LocalStore::item_digest(*it));
+      digests->add_bytes(it->key, n);
     }
   }
 
@@ -129,6 +145,7 @@ struct LocalStore::Shard {
     slabs.release(n);
     if (digests != nullptr) {
       digests->toggle(it->key, LocalStore::item_digest(*it));
+      digests->sub_bytes(it->key, n);
     }
   }
 
@@ -143,7 +160,10 @@ struct LocalStore::Shard {
   void reaccount(std::size_t old_total, std::uint64_t old_digest, Item* it) {
     bytes -= std::min(bytes, old_total);
     slabs.release(old_total);
-    if (digests != nullptr) digests->toggle(it->key, old_digest);
+    if (digests != nullptr) {
+      digests->toggle(it->key, old_digest);
+      digests->sub_bytes(it->key, old_total);
+    }
     account_insert(it);
   }
 
@@ -719,6 +739,7 @@ void LocalStore::clear() {
         // here too.
         if (s->digests != nullptr) {
           s->digests->toggle(head->key, item_digest(*head));
+          s->digests->sub_bytes(head->key, head->total_bytes());
         }
         delete head;
         head = next;
@@ -755,10 +776,26 @@ void LocalStore::enable_digests(std::uint32_t vnodes,
     for (Item* head : s->buckets) {
       for (Item* it = head; it != nullptr; it = it->hash_next) {
         tree->toggle(it->key, item_digest(*it));
+        tree->add_bytes(it->key, it->total_bytes());
       }
     }
   }
   digests_ = std::move(tree);
+}
+
+std::uint64_t LocalStore::vnode_bytes(VnodeId vnode) const {
+  if (!digests_ || vnode >= digests_->vnodes) return 0;
+  return digests_->vbytes[vnode].load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> LocalStore::vnode_bytes_all() const {
+  std::vector<std::uint64_t> out;
+  if (!digests_) return out;
+  out.reserve(digests_->vnodes);
+  for (std::uint32_t v = 0; v < digests_->vnodes; ++v) {
+    out.push_back(digests_->vbytes[v].load(std::memory_order_relaxed));
+  }
+  return out;
 }
 
 bool LocalStore::digests_enabled() const { return digests_ != nullptr; }

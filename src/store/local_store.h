@@ -167,6 +167,11 @@ class LocalStore {
   /// All bucket cells for one vnode.
   [[nodiscard]] std::vector<std::uint64_t> digest_buckets(
       VnodeId vnode) const;
+  /// Resident bytes currently attributed to one vnode's keyspace slice
+  /// (tracked alongside the digest cells; 0 while digests are off).
+  [[nodiscard]] std::uint64_t vnode_bytes(VnodeId vnode) const;
+  /// Per-vnode resident bytes for every vnode; empty while digests are off.
+  [[nodiscard]] std::vector<std::uint64_t> vnode_bytes_all() const;
 
   /// Bucket index of `key` within its vnode's digest row. Decorrelated
   /// from both ring placement and shard selection.

@@ -70,7 +70,12 @@ void ZkServer::on_message(const sim::Message& msg) {
       handle_tree_sync(msg);
       break;
     case kMsgTreeSyncReq:
-      if (is_leader()) broadcast_tree_sync(msg.from);
+      // Answer when leading, but also when merely holding history: a
+      // restarted low-id member may claim leadership with an empty tree
+      // before it has heard anyone, and the member that actually carries
+      // the data may have already yielded to it — if only "the leader"
+      // answered sync requests, that history would be stranded.
+      if (is_leader() || last_zxid_ > 0) broadcast_tree_sync(msg.from);
       break;
     case kMsgSessionPing:
       handle_session_ping(msg);
@@ -364,10 +369,14 @@ void ZkServer::handle_peer_ping(const sim::Message& msg) {
   BinaryReader r(msg.payload);
   const std::uint64_t peer_zxid = r.get_u64();
   if (r.failed()) return;
-  if (msg.from == current_leader() && peer_zxid > last_zxid_ &&
+  // Any peer ahead of us holds history we lack — ask *that peer* for the
+  // image, not our current_leader(): after a restart the lowest-id member
+  // believes it leads, so routing the request through current_leader()
+  // would make it ask itself and never catch up.
+  if (peer_zxid > last_zxid_ &&
       sim().now() - last_sync_request_ > sim_ms(500)) {
     last_sync_request_ = sim().now();
-    request_tree_sync();
+    send_oneway(msg.from, kMsgTreeSyncReq, {});
   }
 }
 
@@ -434,8 +443,11 @@ void ZkServer::become_leader() {
 void ZkServer::broadcast_tree_sync(NodeId target_or_all) {
   TreeSyncMsg m;
   m.epoch = epoch_;
-  m.last_zxid = make_zxid(epoch_, next_counter_ - 1);
-  if (zxid_epoch(last_zxid_) == epoch_) m.last_zxid = last_zxid_;
+  // Advertise the zxid actually applied, never a fabricated one for the
+  // current epoch: an empty restarted member that claims leadership would
+  // otherwise ship an image whose zxid out-ranks real history, and peers
+  // adopting it would treat the genuine tree as stale — wiping it.
+  m.last_zxid = last_zxid_;
   m.next_session_id = next_session_id_;
   m.tree_image = tree_.serialize();
   for (const auto& [sid, timeout] : sessions_) {
@@ -459,7 +471,15 @@ void ZkServer::request_tree_sync() {
 void ZkServer::handle_tree_sync(const sim::Message& msg) {
   auto m = TreeSyncMsg::decode(msg.payload);
   if (!m.ok()) return;
-  if (m->epoch < epoch_ && m->last_zxid <= last_zxid_) return;  // stale
+  // Adopt only images holding at least as much history as we do,
+  // comparing (zxid, epoch) lexicographically. Epoch alone is not
+  // authority: two freshly restarted empty members can talk each other
+  // into arbitrarily high epochs, and an empty image with an inflated
+  // epoch must never displace a populated tree.
+  if (m->last_zxid < last_zxid_ ||
+      (m->last_zxid == last_zxid_ && m->epoch < epoch_)) {
+    return;  // stale
+  }
   auto tree = ZnodeTree::deserialize(m->tree_image);
   if (!tree.ok()) return;
   tree_ = std::move(tree).value();
@@ -468,11 +488,19 @@ void ZkServer::handle_tree_sync(const sim::Message& msg) {
   next_session_id_ = m->next_session_id;
   sessions_.clear();
   for (const auto& [sid, timeout] : m->sessions) sessions_[sid] = timeout;
-  // Drop commits the image already covers; apply any newer ones in order.
+  // Drop commits the image already covers — by zxid, and by epoch: a
+  // quorum-committed write from an older epoch is always contained in a
+  // newer leader's image, so anything left from a superseded epoch can
+  // only wedge the in-order drain.
   std::erase_if(pending_commits_, [this](const auto& kv) {
-    return kv.first <= last_zxid_;
+    return kv.first <= last_zxid_ || zxid_epoch(kv.first) < epoch_;
   });
   drain_pending_commits();
+  // If we currently lead, re-establish leadership *on top of* the adopted
+  // image: bump the epoch past it (so fresh zxids never collide with the
+  // history we just absorbed) and rebroadcast, pulling still-empty
+  // restarted members up to the recovered state.
+  if (is_leader()) become_leader();
 }
 
 void ZkServer::on_restart() {
@@ -482,6 +510,8 @@ void ZkServer::on_restart() {
   tree_ = ZnodeTree{};
   last_zxid_ = 0;
   epoch_ = 0;
+  applied_ = 0;
+  next_counter_ = 1;
   in_flight_.clear();
   pending_commits_.clear();
   sessions_.clear();

@@ -83,6 +83,8 @@ TEST(Determinism, DifferentSeedsDiverge) {
 struct ObservabilityDump {
   std::string metrics;
   std::string traces;
+  std::string timeseries;
+  std::string dashboard;
 };
 
 ObservabilityDump run_traced(std::uint64_t seed) {
@@ -93,6 +95,7 @@ ObservabilityDump run_traced(std::uint64_t seed) {
   cfg.seed = seed;
   SednaCluster cluster(cfg);
   EXPECT_TRUE(cluster.boot().ok());
+  cluster.enable_monitor();
   auto& client = cluster.make_client();
   cluster.sim().tracer().set_enabled(true);
   for (int i = 0; i < 30; ++i) {
@@ -105,7 +108,8 @@ ObservabilityDump run_traced(std::uint64_t seed) {
   }
   cluster.run_for(sim_sec(1));
   ClusterInspector inspector(cluster);
-  return {inspector.metrics_text(), inspector.trace_json()};
+  return {inspector.metrics_text(), inspector.trace_json(),
+          inspector.timeseries_csv(), inspector.dashboard()};
 }
 
 TEST(Determinism, ObservabilityDumpsAreByteIdenticalAcrossSeedSweep) {
@@ -114,9 +118,15 @@ TEST(Determinism, ObservabilityDumpsAreByteIdenticalAcrossSeedSweep) {
     const ObservabilityDump b = run_traced(seed);
     EXPECT_EQ(a.metrics, b.metrics) << "metrics diverged for seed " << seed;
     EXPECT_EQ(a.traces, b.traces) << "traces diverged for seed " << seed;
-    // The dumps are non-trivial: real counters and real spans.
+    EXPECT_EQ(a.timeseries, b.timeseries)
+        << "time series diverged for seed " << seed;
+    EXPECT_EQ(a.dashboard, b.dashboard)
+        << "dashboard diverged for seed " << seed;
+    // The dumps are non-trivial: real counters, spans, samples, health.
     EXPECT_NE(a.metrics.find("sedna_client_writes"), std::string::npos);
     EXPECT_NE(a.traces.find("client.write_latest"), std::string::npos);
+    EXPECT_NE(a.timeseries.find("time_us,nodes_down"), std::string::npos);
+    EXPECT_NE(a.dashboard.find("health:"), std::string::npos);
   }
 }
 

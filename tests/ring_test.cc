@@ -3,7 +3,9 @@
 // imbalance table. Heavy use of TEST_P sweeps over cluster shapes.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <string>
 
 #include "ring/imbalance.h"
 #include "ring/rebalancer.h"
@@ -232,11 +234,54 @@ TEST(Imbalance, RowCodecRoundTrip) {
   row.capacity_bytes = 1 << 30;
   row.reads = 12345;
   row.writes = 678;
+  row.misses = 42;
+  row.vnodes.push_back(VnodeLoadRow{7, 4096, 10, 20, 3});
+  row.vnodes.push_back(VnodeLoadRow{200, 1 << 20, 9999, 0, 0});
   auto back = RealNodeLoad::decode(row.encode());
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->node, row.node);
   EXPECT_EQ(back->capacity_bytes, row.capacity_bytes);
   EXPECT_EQ(back->writes, row.writes);
+  EXPECT_EQ(back->misses, row.misses);
+  ASSERT_EQ(back->vnodes.size(), 2u);
+  EXPECT_EQ(back->vnodes[0], row.vnodes[0]);
+  EXPECT_EQ(back->vnodes[1], row.vnodes[1]);
+}
+
+TEST(Imbalance, RowCodecRejectsTruncatedVnodeRows) {
+  RealNodeLoad row;
+  row.node = 1;
+  row.vnodes.push_back(VnodeLoadRow{3, 100, 1, 2, 0});
+  std::string encoded = row.encode();
+  encoded.resize(encoded.size() - 4);  // clip the last vnode field
+  EXPECT_FALSE(RealNodeLoad::decode(encoded).ok());
+}
+
+TEST(Imbalance, CoefficientIsZeroNotNanOnDegenerateInputs) {
+  // No rows at all.
+  ImbalanceTable empty;
+  EXPECT_DOUBLE_EQ(empty.capacity_imbalance(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.vnode_imbalance(), 0.0);
+
+  // A single node has nothing to be imbalanced against.
+  ImbalanceTable single;
+  RealNodeLoad one;
+  one.node = 1;
+  one.capacity_bytes = 123456;
+  single.update(one);
+  EXPECT_DOUBLE_EQ(single.capacity_imbalance(), 0.0);
+
+  // All-zero loads: mean is 0, CV must come back 0, not NaN.
+  ImbalanceTable zeros;
+  for (NodeId n = 0; n < 4; ++n) {
+    RealNodeLoad row;
+    row.node = n;
+    zeros.update(row);
+  }
+  EXPECT_DOUBLE_EQ(zeros.capacity_imbalance(), 0.0);
+  EXPECT_DOUBLE_EQ(zeros.vnode_imbalance(), 0.0);
+  EXPECT_DOUBLE_EQ(zeros.imbalance(&RealNodeLoad::reads), 0.0);
+  EXPECT_TRUE(std::isfinite(zeros.capacity_imbalance()));
 }
 
 TEST(Imbalance, PerfectBalanceIsZero) {

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# One-shot gate: builds the regular tree, runs the whole ctest suite, then
-# repeats the run under AddressSanitizer + UBSan via run_sanitized.sh.
+# One-shot gate: builds the regular tree, runs the whole ctest suite, runs
+# the failure drill twice and diffs its monitor output (determinism gate:
+# the dashboard and time-series CSV must be byte-identical), then repeats
+# the test run under AddressSanitizer + UBSan via run_sanitized.sh.
 # Usage: tests/run_all.sh [extra ctest args...]
 set -euo pipefail
 
@@ -11,5 +13,22 @@ cmake -B "${build_dir}" -S "${repo_root}"
 cmake --build "${build_dir}" -j "$(nproc)"
 
 (cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)" "$@")
+
+# Determinism gate: two identically-seeded drill runs must agree byte for
+# byte, both on stdout (includes the monitor dashboard + alert timeline)
+# and in the exported time-series CSV.
+drill_tmp="$(mktemp -d)"
+trap 'rm -rf "${drill_tmp}"' EXIT
+for run in 1 2; do
+  mkdir -p "${drill_tmp}/${run}"
+  (cd "${drill_tmp}/${run}" &&
+   "${build_dir}/examples/failure_drill" > stdout.txt)
+done
+diff "${drill_tmp}/1/stdout.txt" "${drill_tmp}/2/stdout.txt" \
+  || { echo "failure_drill stdout is not deterministic"; exit 1; }
+diff "${drill_tmp}/1/failure_drill_timeseries.csv" \
+     "${drill_tmp}/2/failure_drill_timeseries.csv" \
+  || { echo "failure_drill time series is not deterministic"; exit 1; }
+echo "failure_drill determinism gate: OK"
 
 "${repo_root}/tests/run_sanitized.sh" "$@"
