@@ -1,0 +1,24 @@
+// Per-node health states shared by the ClusterMonitor (which derives
+// them from liveness freshness and hint backlog) and the traffic-aware
+// rebalancer (which must never migrate data onto a node that is not
+// fully healthy). Split out of monitor.h so node-side code can consume
+// the enum without pulling in the harness-level monitor.
+#pragma once
+
+#include <cstdint>
+
+namespace sedna::cluster {
+
+enum class HealthState : std::uint8_t { kHealthy, kDegraded, kSuspect, kDead };
+
+[[nodiscard]] constexpr const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kSuspect: return "suspect";
+    case HealthState::kDead: return "dead";
+  }
+  return "?";
+}
+
+}  // namespace sedna::cluster

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/health.h"
 #include "cluster/sedna_cluster.h"
 #include "common/heavy_hitters.h"
 #include "common/timeseries.h"
@@ -43,19 +44,11 @@ struct MonitorConfig {
   std::uint32_t alert_clear_samples = 2;
   /// Install the built-in heartbeat-loss / replica-lag rules.
   bool default_rules = true;
+  /// Consecutive samples with a migration in flight before the
+  /// stuck-migration rule fires (migrations are normally far shorter than
+  /// the sampling window times this).
+  std::uint32_t stuck_migration_samples = 10;
 };
-
-enum class HealthState : std::uint8_t { kHealthy, kDegraded, kSuspect, kDead };
-
-[[nodiscard]] constexpr const char* to_string(HealthState s) {
-  switch (s) {
-    case HealthState::kHealthy: return "healthy";
-    case HealthState::kDegraded: return "degraded";
-    case HealthState::kSuspect: return "suspect";
-    case HealthState::kDead: return "dead";
-  }
-  return "?";
-}
 
 struct HealthTransition {
   SimTime at = 0;
@@ -78,6 +71,9 @@ class ClusterMonitor {
       add_rule({"replica-lag", "hints_pending", AlertOp::kGreaterThan, 0.0,
                 config_.alert_for_samples, config_.alert_clear_samples,
                 "warning"});
+      add_rule({"stuck-migration", "migrations_inflight",
+                AlertOp::kGreaterThan, 0.0, config_.stuck_migration_samples,
+                config_.alert_clear_samples, "warning"});
     }
     alerts_.set_transition_hook(
         [this](const AlertRule& rule, const AlertEvent& e) {
@@ -278,6 +274,22 @@ class ClusterMonitor {
     recorder_.add_series("keys_repaired", [this] {
       return counter_sum("antientropy.keys_pushed") +
              counter_sum("antientropy.keys_pulled");
+    });
+    // Migration telemetry (appended last: the CSV column order is part of
+    // the determinism contract asserted by existing tests).
+    recorder_.add_series("migrations_inflight", [this] {
+      double n = 0;
+      for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+        auto& node = cluster_.node(i);
+        if (node.alive()) n += static_cast<double>(node.migrations_active());
+      }
+      return n;
+    });
+    recorder_.add_series("migrations_done", [this] {
+      return counter_sum("rebalance.migrations_completed");
+    });
+    recorder_.add_series("migration_bytes", [this] {
+      return counter_sum("rebalance.bytes_moved");
     });
   }
 

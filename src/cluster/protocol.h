@@ -28,6 +28,7 @@ constexpr sim::MessageType kMsgPurgeVnode = 222;   // new owner → old owner
 constexpr sim::MessageType kMsgScan = 230;         // client → every node
 constexpr sim::MessageType kMsgHintDeliver = 240;  // coordinator → healed replica
 constexpr sim::MessageType kMsgVnodeDigest = 241;  // anti-entropy digest exchange
+constexpr sim::MessageType kMsgMigrateVnode = 250;  // rebalance leader → destination
 
 enum class WriteMode : std::uint8_t { kLatest = 0, kAll = 1 };
 enum class ReadMode : std::uint8_t { kLatest = 0, kAll = 1 };
@@ -463,6 +464,65 @@ struct VnodeDigestReply {
     });
     rep.truncated = r.get_bool();
     if (r.failed()) return Status::Corruption("bad digest reply");
+    return rep;
+  }
+};
+
+/// Traffic-aware rebalancing: the rebalance leader asks a destination
+/// node to *pull* one vnode through the multi-phase migration protocol
+/// (snapshot transfer → Merkle delta catch-up → versioned ZK cutover →
+/// old-owner drain). The destination drives every phase, so a leader
+/// crash mid-migration at worst orphans an in-flight pull.
+struct MigrateVnodeRequest {
+  VnodeId vnode = kInvalidVnode;
+  /// Current owner, per the leader's plan; the destination re-verifies
+  /// against ZooKeeper at cutover time (versioned CAS).
+  NodeId from = kInvalidNode;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(8);
+    w.put_u32(vnode);
+    w.put_u32(from);
+    return std::move(w).take();
+  }
+
+  static Result<MigrateVnodeRequest> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    MigrateVnodeRequest req;
+    req.vnode = r.get_u32();
+    req.from = r.get_u32();
+    if (r.failed()) return Status::Corruption("bad migrate request");
+    return req;
+  }
+};
+
+struct MigrateVnodeReply {
+  /// kOk: cutover committed. kRefused: plan went stale (owner changed
+  /// under us) — safe no-op. Anything else: the migration failed before
+  /// cutover; ownership is unchanged.
+  StatusCode status = StatusCode::kOk;
+  std::uint64_t items = 0;
+  std::uint64_t bytes = 0;
+  /// Cutover (CAS + journal) latency in simulated microseconds.
+  std::uint64_t cutover_us = 0;
+
+  [[nodiscard]] std::string encode() const {
+    BinaryWriter w(25);
+    w.put_u8(static_cast<std::uint8_t>(status));
+    w.put_u64(items);
+    w.put_u64(bytes);
+    w.put_u64(cutover_us);
+    return std::move(w).take();
+  }
+
+  static Result<MigrateVnodeReply> decode(std::string_view bytes) {
+    BinaryReader r(bytes);
+    MigrateVnodeReply rep;
+    rep.status = static_cast<StatusCode>(r.get_u8());
+    rep.items = r.get_u64();
+    rep.bytes = r.get_u64();
+    rep.cutover_us = r.get_u64();
+    if (r.failed()) return Status::Corruption("bad migrate reply");
     return rep;
   }
 };

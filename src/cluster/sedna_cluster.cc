@@ -42,6 +42,12 @@ SednaCluster::~SednaCluster() = default;
 
 ClusterMonitor& SednaCluster::enable_monitor(MonitorConfig config) {
   monitor_ = std::make_unique<ClusterMonitor>(*this, config);
+  // The traffic rebalancer consults the monitor's health view before
+  // picking migration targets (never onto a degraded/suspect/dead node).
+  for (auto& node : nodes_) {
+    node->set_health_provider(
+        [m = monitor_.get()](NodeId n) { return m->health(n); });
+  }
   return *monitor_;
 }
 
@@ -212,6 +218,10 @@ Result<NodeId> SednaCluster::join_new_node() {
     cfg.persistence.dir += "/node-" + std::to_string(id);
   }
   nodes_.push_back(std::make_unique<SednaNode>(net_, id, cfg));
+  if (monitor_ != nullptr) {
+    nodes_.back()->set_health_provider(
+        [m = monitor_.get()](NodeId n) { return m->health(n); });
+  }
   std::optional<Status> done;
   nodes_.back()->start_and_join([&](const Status& st) { done = st; });
   if (!run_until([&] { return done.has_value(); })) {

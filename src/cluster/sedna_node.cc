@@ -27,7 +27,8 @@ SednaNode::SednaNode(sim::Network& net, NodeId id, SednaNodeConfig config)
             return zc;
           }()),
       metadata_(zk_, *this),
-      hot_keys_(config_.hot_key_capacity) {
+      hot_keys_(config_.hot_key_capacity),
+      traffic_rebalancer_(config_.traffic_rebalance) {
   store_ = std::make_unique<store::LocalStore>(
       config_.store, [this] { return sim().now(); });
   if (config_.persistence.mode != wal::PersistMode::kNone) {
@@ -93,6 +94,14 @@ void SednaNode::start(ReadyCallback on_ready) {
                                                set_trace_context({});
                                                rebalance_tick();
                                              });
+                   }
+                   if (config_.traffic_rebalance_interval > 0) {
+                     traffic_rebalance_timer_.cancel();
+                     traffic_rebalance_timer_ = sim().schedule_periodic(
+                         config_.traffic_rebalance_interval, [this] {
+                           set_trace_context({});
+                           traffic_rebalance_tick();
+                         });
                    }
                    // Repair daemons: cancel-then-reschedule so a restart
                    // does not stack duplicate timers.
@@ -202,7 +211,8 @@ void SednaNode::claim_one(const ring::VnodeMove& move,
                           move.vnode, id(), [this, move, done] {
                             fetch_vnode_from(
                                 move.vnode, {move.from}, 0,
-                                [this, move, done](bool fetched) {
+                                [this, move, done](bool fetched,
+                                                   std::uint64_t) {
                                   if (fetched) {
                                     // The old owner may now drop its
                                     // redundant copy of the slice.
@@ -249,6 +259,12 @@ void SednaNode::report_load() {
   // imbalance table for all the real nodes computed from the virtual
   // nodes' status"), with resident bytes taken from the store. Only
   // vnodes with activity get a detail row, so the row stays compact.
+  //
+  // Read/write/miss counts are *per-window deltas* since the previous
+  // report, not lifetime totals: the traffic rebalancer compares recent
+  // load across nodes, and a lifetime counter would keep crediting a
+  // migrated vnode's whole history to its old owner. Capacity stays
+  // absolute (resident bytes are a level, not a rate).
   refresh_vnode_status();
   ring::RealNodeLoad row;
   row.node = id();
@@ -257,18 +273,26 @@ void SednaNode::report_load() {
     if (node == id()) row.vnode_count = count;
   }
   row.capacity_bytes = store_->stats().bytes;
+  if (reported_status_.size() < vnode_status_.size()) {
+    reported_status_.resize(vnode_status_.size());
+  }
   for (std::size_t v = 0; v < vnode_status_.size(); ++v) {
     const ring::VnodeStatus& vs = vnode_status_[v];
-    row.reads += vs.reads;
-    row.writes += vs.writes;
-    row.misses += vs.misses;
-    if (vs.reads != 0 || vs.writes != 0 || vs.misses != 0 ||
+    const ring::VnodeStatus& prev = reported_status_[v];
+    const std::uint64_t reads = vs.reads - prev.reads;
+    const std::uint64_t writes = vs.writes - prev.writes;
+    const std::uint64_t misses = vs.misses - prev.misses;
+    row.reads += reads;
+    row.writes += writes;
+    row.misses += misses;
+    if (reads != 0 || writes != 0 || misses != 0 ||
         vs.capacity_bytes != 0) {
       row.vnodes.push_back(ring::VnodeLoadRow{
-          static_cast<VnodeId>(v), vs.capacity_bytes, vs.reads, vs.writes,
-          vs.misses});
+          static_cast<VnodeId>(v), vs.capacity_bytes, reads, writes,
+          misses});
     }
   }
+  reported_status_ = vnode_status_;
   const std::string path =
       std::string(kZkRealNodes) + "/load-" + std::to_string(id());
   // Upsert: set, create on NotFound.
@@ -312,6 +336,9 @@ void SednaNode::on_message(const sim::Message& msg) {
     case kMsgVnodeDigest:
       handle_vnode_digest(msg);
       break;
+    case kMsgMigrateVnode:
+      handle_migrate_vnode(msg);
+      break;
     case zk::kMsgWatchEvent:
       zk_.on_watch_event(msg.payload);
       break;
@@ -330,6 +357,7 @@ std::string SednaNode::rpc_span_name(sim::MessageType type) const {
     case kMsgScan: return "rpc.scan";
     case kMsgHintDeliver: return "rpc.hint_deliver";
     case kMsgVnodeDigest: return "rpc.vnode_digest";
+    case kMsgMigrateVnode: return "rpc.migrate_vnode";
     case zk::kMsgClientRequest: return "rpc.zk_request";
     case zk::kMsgSessionPing: return "rpc.zk_ping";
     default: return sim::Host::rpc_span_name(type);
@@ -354,6 +382,15 @@ void SednaNode::on_crash() {
   ae_in_flight_ = false;
   hint_timer_.cancel();
   ae_timer_.cancel();
+  // Migration state is volatile too: a crashed destination simply never
+  // reaches cutover (the source keeps serving), and a crashed leader's
+  // in-flight round is forgotten (the next leader replans from fresh
+  // telemetry).
+  reported_status_.clear();
+  migrating_in_.clear();
+  migrations_dispatched_ = 0;
+  traffic_rebalancer_.reset();
+  traffic_rebalance_timer_.cancel();
 }
 
 StatusCode SednaNode::apply_write(const WriteRequest& req) {
@@ -1056,15 +1093,18 @@ void SednaNode::handle_purge_vnode(const sim::Message& msg) {
   // Refresh the local view first: the journal entry naming the new owner
   // may not have reached us yet.
   metadata_.apply_local(req->vnode, req->new_owner);
+  purge_local_vnode(req->vnode);
+}
+
+void SednaNode::purge_local_vnode(VnodeId vnode) {
   const auto& table = metadata_.table();
   // Only purge if we are truly out of the slice's replica set now; the
   // previous owner often remains a successor replica on the walk.
-  const auto replicas = table.replicas_for_vnode(req->vnode);
+  const auto replicas = table.replicas_for_vnode(vnode);
   if (std::find(replicas.begin(), replicas.end(), id()) != replicas.end()) {
     return;
   }
   std::vector<std::string> doomed;
-  const VnodeId vnode = req->vnode;
   store_->for_each_matching(
       [&table, vnode](std::string_view key) {
         return table.vnode_for_key(key) == vnode;
@@ -1079,7 +1119,8 @@ void SednaNode::handle_takeover(const sim::Message& msg) {
   if (!req.ok()) return;
   const VnodeId vnode = req->vnode;
   const auto sources = req->sources;
-  fetch_vnode_from(vnode, sources, 0, [this, vnode, sources](bool ok) {
+  fetch_vnode_from(vnode, sources, 0,
+                   [this, vnode, sources](bool ok, std::uint64_t) {
     metrics_.counter(ok ? "transfer.takeovers_ok" : "transfer.takeovers_failed")
         .add(1);
     if (!ok) return;
@@ -1098,11 +1139,11 @@ void SednaNode::handle_takeover(const sim::Message& msg) {
 
 void SednaNode::fetch_vnode_from(VnodeId vnode, std::vector<NodeId> sources,
                                  std::size_t idx,
-                                 std::function<void(bool)> done) {
+                                 std::function<void(bool, std::uint64_t)> done) {
   // Skip ourselves (we may appear in a replica walk) and exhausted lists.
   while (idx < sources.size() && sources[idx] == id()) ++idx;
   if (idx >= sources.size()) {
-    done(false);
+    done(false, 0);
     return;
   }
   FetchVnodeRequest req;
@@ -1123,7 +1164,11 @@ void SednaNode::fetch_vnode_from(VnodeId vnode, std::vector<NodeId> sources,
                             std::move(done));
            return;
          }
+         std::uint64_t bytes = 0;
          for (const auto& item : rep->items) {
+           bytes += item.key.size();
+           if (item.has_latest) bytes += item.latest.value.size();
+           for (const auto& sv : item.value_list) bytes += sv.value.size();
            if (item.has_latest) {
              WriteRequest w;
              w.mode = WriteMode::kLatest;
@@ -1144,7 +1189,7 @@ void SednaNode::fetch_vnode_from(VnodeId vnode, std::vector<NodeId> sources,
            }
          }
          metrics_.counter("transfer.items_received").add(rep->items.size());
-         done(true);
+         done(true, bytes);
        });
 }
 
@@ -1592,6 +1637,309 @@ void SednaNode::pull_key(NodeId peer, const std::string& key, bool want_list,
                 done();
               });
        });
+}
+
+// ---------------------------------------------------------------------------
+// Traffic-aware rebalancing
+// ---------------------------------------------------------------------------
+
+void SednaNode::traffic_rebalance_tick() {
+  if (!alive() || !ready_) return;
+  // One round at a time: a new plan over telemetry that predates the
+  // previous round's cutovers would double-move the same slices.
+  if (migrations_dispatched_ > 0) return;
+  zk_.children(
+      kZkRealNodes, [this](const Result<std::vector<std::string>>& kids) {
+        if (!kids.ok() || !alive() || !ready_) return;
+        std::vector<NodeId> live;
+        for (const auto& name : kids.value()) {
+          if (name.rfind("node-", 0) != 0) continue;
+          live.push_back(static_cast<NodeId>(
+              std::strtoul(name.c_str() + 5, nullptr, 10)));
+        }
+        // Single deterministic actor: the lowest live node id.
+        if (live.empty() ||
+            *std::min_element(live.begin(), live.end()) != id()) {
+          return;
+        }
+        std::sort(live.begin(), live.end());
+        // Assemble the cluster-wide imbalance table from each live node's
+        // reported row (missing rows — a node that has not reported yet —
+        // simply count as zero traffic).
+        auto table = std::make_shared<ring::ImbalanceTable>();
+        auto pending = std::make_shared<std::size_t>(live.size());
+        auto live_shared =
+            std::make_shared<std::vector<NodeId>>(std::move(live));
+        for (NodeId n : *live_shared) {
+          const std::string path =
+              std::string(kZkRealNodes) + "/load-" + std::to_string(n);
+          zk_.get(path,
+                  [this, table, pending, live_shared](
+                      const Result<std::pair<std::string, zk::ZnodeStat>>&
+                          got) {
+                    if (got.ok()) {
+                      auto row = ring::RealNodeLoad::decode(got->first);
+                      if (row.ok()) table->update(*row);
+                    }
+                    if (--*pending == 0) {
+                      run_traffic_plan(*table, std::move(*live_shared));
+                    }
+                  });
+        }
+      });
+}
+
+void SednaNode::run_traffic_plan(const ring::ImbalanceTable& table,
+                                 std::vector<NodeId> live) {
+  if (!alive() || !ready_ || migrations_dispatched_ > 0) return;
+  TrafficRebalancer::HealthFn health = health_provider_;
+  if (!health) health = [](NodeId) { return HealthState::kHealthy; };
+  const auto moves =
+      traffic_rebalancer_.plan(table, metadata_.table(), live, health, now());
+  metrics_.counter("rebalance.traffic_rounds").add(1);
+  for (const MigrationPlan& m : moves) {
+    ++migrations_dispatched_;
+    metrics_.counter("rebalance.migrations_started").add(1);
+    MigrateVnodeRequest req{m.vnode, m.from};
+    call_with_timeout(
+        m.to, kMsgMigrateVnode, req.encode(), config_.migration_timeout,
+        [this](const Status& st, const std::string& body) {
+          if (migrations_dispatched_ > 0) --migrations_dispatched_;
+          auto rep = st.ok() ? MigrateVnodeReply::decode(body)
+                             : Result<MigrateVnodeReply>(st);
+          if (!rep.ok() || rep->status != StatusCode::kOk) {
+            // Completion metrics live on the destination; the leader only
+            // tracks dispatches that came back without a commit.
+            metrics_.counter("rebalance.migrations_failed").add(1);
+          }
+        });
+  }
+}
+
+void SednaNode::handle_migrate_vnode(const sim::Message& msg) {
+  auto req = MigrateVnodeRequest::decode(msg.payload);
+  if (!req.ok()) return;
+  begin_migration(req->vnode, req->from,
+                  [this, msg](const MigrateVnodeReply& rep) {
+                    reply(msg, rep.encode());
+                  });
+}
+
+void SednaNode::begin_migration(
+    VnodeId vnode, NodeId from,
+    std::function<void(const MigrateVnodeReply&)> done) {
+  auto state = std::make_shared<MigrateVnodeReply>();
+  if (!ready_ || from == id() || migrating_in_.contains(vnode) ||
+      metadata_.table().owner(vnode) == id()) {
+    state->status = StatusCode::kRefused;
+    done(*state);
+    return;
+  }
+  migrating_in_.insert(vnode);
+  metrics_.counter("rebalance.migrations_accepted").add(1);
+  // The protocol runs outside any request context; open a dedicated trace
+  // so migrations show up in trace dumps (no-op while disabled).
+  const TraceContext ctx = begin_trace("rebalance.migration");
+  // `migrating_in_` doubles as the liveness token: on_crash clears it, so
+  // any continuation that still fires afterwards (stale RPC callbacks
+  // delivered post-restart) must bail out instead of touching the store.
+  auto finish = [this, vnode, root = ctx.span_id, state,
+                 done = std::move(done)](bool committed) {
+    migrating_in_.erase(vnode);
+    if (!committed) metrics_.counter("rebalance.migrations_aborted").add(1);
+    end_span(root);
+    set_trace_context({});
+    done(*state);
+  };
+  // Phase 1: bulk snapshot pull from the current owner.
+  fetch_vnode_from(
+      vnode, {from}, 0,
+      [this, vnode, from, state, finish](bool fetched, std::uint64_t bytes) {
+        if (!migrating_in_.contains(vnode)) return;
+        if (!fetched) {
+          state->status = StatusCode::kUnavailable;
+          finish(false);
+          return;
+        }
+        state->bytes += bytes;
+        // Phase 2: delta catch-up — writes that landed at the source while
+        // the snapshot was in flight.
+        migration_catchup(vnode, from, [this, vnode, from, state, finish](
+                                           bool caught, std::size_t keys) {
+          if (!migrating_in_.contains(vnode)) return;
+          if (!caught) {
+            state->status = StatusCode::kUnavailable;
+            finish(false);
+            return;
+          }
+          state->items += keys;
+          // Phase 3: atomic cutover — re-verify the owner, then CAS the
+          // vnode znode to us under its version.
+          const SimTime cut_start = now();
+          zk_.get(
+              vnode_znode(vnode),
+              [this, vnode, from, state, finish, cut_start](
+                  const Result<std::pair<std::string, zk::ZnodeStat>>& got) {
+                if (!migrating_in_.contains(vnode)) return;
+                if (!got.ok()) {
+                  // Unknown outcome territory (ZK unreachable): keep the
+                  // pulled data — it is never wrong to hold extra
+                  // replicas — and let the leader retry later.
+                  state->status = StatusCode::kUnavailable;
+                  finish(false);
+                  return;
+                }
+                BinaryReader r(got->first);
+                const NodeId current = r.get_u32();
+                if (r.failed() || current != from) {
+                  // Plan went stale: the slice moved under the leader's
+                  // feet. Definite no-go — drop the pulled copy (unless
+                  // the walk keeps us as a successor replica).
+                  state->status = StatusCode::kRefused;
+                  purge_local_vnode(vnode);
+                  finish(false);
+                  return;
+                }
+                BinaryWriter w;
+                w.put_u32(id());
+                zk_.set(
+                    vnode_znode(vnode), std::move(w).take(),
+                    got->second.version,
+                    [this, vnode, from, state, finish,
+                     cut_start](const Result<zk::ZnodeStat>& set) {
+                      if (!migrating_in_.contains(vnode)) return;
+                      if (!set.ok()) {
+                        if (set.status().is(StatusCode::kFailure) ||
+                            set.status().is(StatusCode::kNotFound)) {
+                          // Definite CAS loss: the version moved, so
+                          // ownership is provably elsewhere.
+                          state->status = StatusCode::kRefused;
+                          purge_local_vnode(vnode);
+                        } else {
+                          // Timeout / partition: the CAS may have
+                          // committed on the other side. KEEP the data —
+                          // purging here could orphan acked writes if we
+                          // are in fact the new owner — and resync the
+                          // table so a committed cutover surfaces.
+                          state->status = StatusCode::kUnavailable;
+                          metadata_.sync_now();
+                        }
+                        finish(false);
+                        return;
+                      }
+                      metadata_.apply_local(vnode, id());
+                      state->cutover_us = now() - cut_start;
+                      metrics_.histogram("rebalance.cutover_latency_us")
+                          .record(state->cutover_us);
+                      append_change_journal(vnode, id(), [this, vnode, from,
+                                                          state, finish] {
+                        if (!migrating_in_.contains(vnode)) return;
+                        // Phase 4: drain catch-up — writes the old owner
+                        // acked between phase 2 and the cutover landing.
+                        // Best-effort: a miss here is converged later by
+                        // anti-entropy against the surviving replicas.
+                        migration_catchup(
+                            vnode, from,
+                            [this, vnode, from, state, finish](
+                                bool, std::size_t keys) {
+                              if (!migrating_in_.contains(vnode)) return;
+                              state->items += keys;
+                              // Phase 5: invite the old owner to drop its
+                              // copy (it re-checks replica membership
+                              // before deleting anything).
+                              PurgeVnodeRequest purge{vnode, id()};
+                              send_oneway(from, kMsgPurgeVnode,
+                                          purge.encode());
+                              state->status = StatusCode::kOk;
+                              metrics_
+                                  .counter("rebalance.migrations_completed")
+                                  .add(1);
+                              metrics_.counter("rebalance.bytes_moved")
+                                  .add(state->bytes);
+                              finish(true);
+                            });
+                      });
+                    });
+              });
+        });
+      });
+}
+
+void SednaNode::migration_catchup(VnodeId vnode, NodeId from,
+                                  std::function<void(bool, std::size_t)> done) {
+  VnodeDigestRequest req;
+  req.vnode = vnode;
+  req.root = store_->digest_root(vnode);
+  req.buckets = store_->digest_buckets(vnode);
+  call(from, kMsgVnodeDigest, req.encode(), [this, vnode, from,
+                                             done = std::move(done)](
+                                                const Status& st,
+                                                const std::string& body) {
+    if (!st.ok()) {
+      done(false, 0);
+      return;
+    }
+    auto rep = VnodeDigestReply::decode(body);
+    if (!rep.ok() || rep->status != StatusCode::kOk) {
+      done(false, 0);
+      return;
+    }
+    if (rep->match) {
+      done(true, 0);
+      return;
+    }
+    // Local view of the mismatched buckets — the same scan as the
+    // anti-entropy reconcile but pull-only: the source stays authoritative
+    // until cutover, so nothing is pushed back. A truncated digest reply
+    // leaves a remainder for the post-cutover drain pass (and ultimately
+    // anti-entropy) to cover.
+    struct LocalKey {
+      bool has_latest = false;
+      Timestamp ts = 0;
+      std::uint64_t list_digest = 0;
+    };
+    std::set<std::uint32_t> mismatched(rep->mismatched.begin(),
+                                       rep->mismatched.end());
+    const std::uint32_t bucket_count = store_->digest_buckets_per_vnode();
+    const auto& table = metadata_.table();
+    std::map<std::string, LocalKey> local;
+    store_->for_each_matching(
+        [&table, &mismatched, bucket_count, vnode](std::string_view key) {
+          return table.vnode_for_key(key) == vnode &&
+                 mismatched.contains(
+                     store::LocalStore::digest_bucket_of(key, bucket_count));
+        },
+        [&local](const store::Item& item) {
+          local.emplace(
+              item.key,
+              LocalKey{item.has_latest, item.has_latest ? item.latest.ts : 0,
+                       store::LocalStore::value_list_digest(item.value_list)});
+        });
+    std::vector<std::pair<std::string, bool>> pulls;  // key, pull list too
+    for (const KeySummary& ks : rep->keys) {
+      const auto it = local.find(ks.key);
+      const bool local_has = it != local.end() && it->second.has_latest;
+      const Timestamp local_ts = local_has ? it->second.ts : 0;
+      const std::uint64_t local_list =
+          it == local.end() ? 0 : it->second.list_digest;
+      const bool list_diff = local_list != ks.list_digest;
+      if ((ks.has_latest && (!local_has || local_ts < ks.latest_ts)) ||
+          list_diff) {
+        pulls.emplace_back(ks.key, list_diff);
+      }
+    }
+    metrics_.counter("rebalance.catchup_keys").add(pulls.size());
+    const std::size_t pulled = pulls.size();
+    auto outstanding = std::make_shared<std::size_t>(1);
+    auto finish = [outstanding, pulled, done = std::move(done)] {
+      if (--*outstanding == 0) done(true, pulled);
+    };
+    for (const auto& [key, want_list] : pulls) {
+      ++*outstanding;
+      pull_key(from, key, want_list, finish);
+    }
+    finish();  // releases the +1 guard
+  });
 }
 
 void SednaNode::handle_vnode_digest(const sim::Message& msg) {

@@ -27,8 +27,10 @@
 #include <string>
 #include <vector>
 
+#include "cluster/health.h"
 #include "cluster/metadata.h"
 #include "cluster/protocol.h"
+#include "cluster/rebalancer.h"
 #include "common/heavy_hitters.h"
 #include "common/metrics.h"
 #include "ring/imbalance.h"
@@ -61,6 +63,19 @@ struct SednaNodeConfig {
   std::uint32_t rebalance_tolerance = 2;
   /// Moves executed per rebalance round (bounds transfer burstiness).
   std::uint32_t rebalance_max_moves = 4;
+
+  // --- Traffic-aware rebalancer (closes the telemetry loop) -------------
+  /// The lowest-id live node periodically reads every node's imbalance
+  /// row from ZooKeeper and migrates the hottest vnodes of overloaded
+  /// nodes to the coldest *healthy* nodes via the multi-phase migration
+  /// protocol. 0 disables (the default).
+  SimDuration traffic_rebalance_interval = 0;
+  /// Planner policy: CV trigger, headroom, per-round caps, cooldown,
+  /// isolate ("split") path for persistently-hot single vnodes.
+  TrafficRebalancerConfig traffic_rebalance;
+  /// End-to-end deadline the leader grants one vnode migration
+  /// (snapshot + delta catch-up + cutover + drain).
+  SimDuration migration_timeout = sim_sec(10);
 
   // --- Repair subsystem (hinted handoff + Merkle anti-entropy) ----------
   /// Max hints held across all targets (capped coordinator memory);
@@ -142,6 +157,28 @@ class SednaNode : public sim::Host {
   /// estimate accumulated in apply_write.
   void refresh_vnode_status();
 
+  /// Health oracle the traffic rebalancer consults before picking a
+  /// migration target (the cluster status manager's view; wired to the
+  /// ClusterMonitor by the harness). Unset = every live node is healthy.
+  void set_health_provider(std::function<HealthState(NodeId)> provider) {
+    health_provider_ = std::move(provider);
+  }
+
+  /// Runs the multi-phase migration protocol with this node as the
+  /// destination: snapshot pull from `from`, Merkle delta catch-up,
+  /// versioned ZK cutover, post-cutover drain catch-up, old-owner purge.
+  /// The reply's status is kOk on committed cutover, kRefused when the
+  /// plan went stale, other codes on pre-cutover failure (ownership then
+  /// stays with `from`). Public so tests can drive single migrations.
+  void begin_migration(VnodeId vnode, NodeId from,
+                       std::function<void(const MigrateVnodeReply&)> done);
+
+  /// Migrations this node is currently involved in: leader-side
+  /// dispatched-and-unanswered plus destination-side in-progress pulls.
+  [[nodiscard]] std::size_t migrations_active() const {
+    return migrations_dispatched_ + migrating_in_.size();
+  }
+
  protected:
   void on_message(const sim::Message& msg) override;
   void on_crash() override;
@@ -163,6 +200,8 @@ class SednaNode : public sim::Host {
   // Repair paths.
   void handle_hint_deliver(const sim::Message& msg);
   void handle_vnode_digest(const sim::Message& msg);
+  // Traffic-aware migration path.
+  void handle_migrate_vnode(const sim::Message& msg);
 
   /// Applies a write to the local store + persistence. Used by both the
   /// replica handler and the coordinator's own local copy.
@@ -187,8 +226,10 @@ class SednaNode : public sim::Host {
   void claim_one(const ring::VnodeMove& move, std::function<void()> done);
 
   /// Pulls `vnode`'s items from the first healthy node in `sources`.
+  /// `done` receives success plus the approximate payload bytes applied.
   void fetch_vnode_from(VnodeId vnode, std::vector<NodeId> sources,
-                        std::size_t idx, std::function<void(bool)> done);
+                        std::size_t idx,
+                        std::function<void(bool, std::uint64_t)> done);
 
   void append_change_journal(VnodeId vnode, NodeId owner,
                              std::function<void()> done);
@@ -241,6 +282,22 @@ class SednaNode : public sim::Host {
                      std::size_t next);
   void execute_move(const ring::VnodeMove& move, std::function<void()> done);
 
+  // ---- Traffic-aware rebalancer ------------------------------------------
+  /// Leader tick (lowest live id): gather the imbalance rows from
+  /// ZooKeeper, plan a migration round, dispatch each move to its
+  /// destination node.
+  void traffic_rebalance_tick();
+  void run_traffic_plan(const ring::ImbalanceTable& table,
+                        std::vector<NodeId> live);
+  /// Pull-only Merkle reconcile of `vnode` against `from` (the delta
+  /// catch-up phases of a migration). `done` receives success plus the
+  /// number of keys pulled.
+  void migration_catchup(VnodeId vnode, NodeId from,
+                         std::function<void(bool, std::size_t)> done);
+  /// Drops the local copy of `vnode` unless this node is (still) in its
+  /// replica set.
+  void purge_local_vnode(VnodeId vnode);
+
   SednaNodeConfig config_;
   std::unique_ptr<store::LocalStore> store_;
   std::unique_ptr<wal::PersistenceManager> persistence_;
@@ -271,6 +328,19 @@ class SednaNode : public sim::Host {
   std::map<VnodeId, SimTime> ae_last_synced_;
   bool ae_in_flight_ = false;
   sim::TimerHandle ae_timer_;
+
+  // Traffic-aware rebalancer state.
+  TrafficRebalancer traffic_rebalancer_;
+  /// Load-window baseline: counters as of the previous imbalance-row
+  /// report, so each row carries per-window deltas (a migrated vnode's
+  /// history must not keep its old owner looking hot forever).
+  std::vector<ring::VnodeStatus> reported_status_;
+  /// Vnodes this node is currently pulling in as a migration destination.
+  std::set<VnodeId> migrating_in_;
+  /// Leader-side: dispatched migration RPCs not yet answered.
+  std::size_t migrations_dispatched_ = 0;
+  std::function<HealthState(NodeId)> health_provider_;
+  sim::TimerHandle traffic_rebalance_timer_;
 };
 
 }  // namespace sedna::cluster

@@ -31,4 +31,19 @@ diff "${drill_tmp}/1/failure_drill_timeseries.csv" \
   || { echo "failure_drill time series is not deterministic"; exit 1; }
 echo "failure_drill determinism gate: OK"
 
+# Same gate for the rebalancer ablation: two runs of the 64-node
+# migration scenario must agree byte for byte (the run itself already
+# exits non-zero unless the rebalancer strictly improves the load CV).
+for run in 1 2; do
+  mkdir -p "${drill_tmp}/reb${run}"
+  (cd "${drill_tmp}/reb${run}" &&
+   "${build_dir}/bench/hotkey_skew" rebalance > stdout.txt)
+done
+diff "${drill_tmp}/reb1/stdout.txt" "${drill_tmp}/reb2/stdout.txt" \
+  || { echo "rebalance ablation stdout is not deterministic"; exit 1; }
+diff "${drill_tmp}/reb1/ablation_rebalance.csv" \
+     "${drill_tmp}/reb2/ablation_rebalance.csv" \
+  || { echo "rebalance ablation CSV is not deterministic"; exit 1; }
+echo "rebalance ablation determinism gate: OK"
+
 "${repo_root}/tests/run_sanitized.sh" "$@"

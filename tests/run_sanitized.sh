@@ -14,3 +14,10 @@ export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 cd "${build_dir}"
 ctest --output-on-failure -j "$(nproc)" "$@"
+
+# One sanitized pass over the rebalancer ablation: the migration
+# protocol's async continuations and purge paths run under ASan/UBSan.
+reb_tmp="$(mktemp -d)"
+trap 'rm -rf "${reb_tmp}"' EXIT
+(cd "${reb_tmp}" && "${build_dir}/bench/hotkey_skew" rebalance)
+echo "sanitized rebalance ablation: OK"
