@@ -13,11 +13,14 @@
 // subsystem on (hinted handoff + Merkle anti-entropy) the count converges
 // to 0; with it off the hole persists indefinitely, because read repair —
 // the only remaining mechanism — never fires for cold keys.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "cluster/admin.h"
+#include "common/critical_path.h"
+#include "common/trace.h"
 #include "fig_common.h"
 
 using namespace sedna;
@@ -145,10 +148,34 @@ int main() {
               crash_at / 1000.0);
 
   // Keep reading everything; count per-pass failures as the outage ages.
+  // Each pass is also traced: the per-stage p99 attribution CSV shows the
+  // dominant tail cause flipping from retry (requests burning the client
+  // timeout against the dead coordinator) back to plain service time once
+  // recovery reroutes the ring.
+  Tracer& tracer = cluster.sim().tracer();
+  AttributionAggregator agg;
+  tracer.set_on_trace_finished(
+      [&](TraceId id, const Tracer::TraceRecord& rec) {
+        if (rec.op.rfind("client.", 0) != 0) return;
+        agg.observe(id, rec);
+      });
   std::FILE* csv = std::fopen("ablation_failure.csv", "w");
   if (csv) std::fprintf(csv, "pass,t_ms,failures,ok\n");
+  std::FILE* att = std::fopen("ablation_failure_attribution.csv", "w");
+  if (att) {
+    std::fprintf(att, "pass,t_ms,ops,p99_total_us");
+    for (std::size_t s = 1; s < kTraceStageCount; ++s) {
+      std::fprintf(att, ",p99_%s_us", to_string(static_cast<TraceStage>(s)));
+    }
+    std::fprintf(att, ",tail_dominant,min_coverage\n");
+  }
+  TraceStage first_dom = TraceStage::kUnknown;
+  TraceStage last_dom = TraceStage::kUnknown;
+  double worst_cov = 1.0;
   std::uint64_t total_failures = 0;
   for (int pass = 0; pass < 6; ++pass) {
+    agg.reset();
+    tracer.set_enabled(true);
     std::uint64_t failures = 0, okops = 0;
     std::uint64_t done_flag = 0;
     workload::ClosedLoopDriver reader(
@@ -165,19 +192,38 @@ int main() {
         });
     reader.start([&] { ++done_flag; });
     cluster.run_until([&] { return done_flag == 1; });
+    tracer.set_enabled(false);
     total_failures += failures;
     const double t_ms = (cluster.sim().now() - crash_at) / 1000.0;
-    std::printf("  pass %d (t+%.0f ms): ok=%llu failed=%llu\n", pass, t_ms,
-                static_cast<unsigned long long>(okops),
-                static_cast<unsigned long long>(failures));
+    const TraceStage dom = agg.tail_dominant(0.10);
+    if (pass == 0) first_dom = dom;
+    last_dom = dom;
+    worst_cov = std::min(worst_cov, agg.min_coverage());
+    std::printf("  pass %d (t+%.0f ms): ok=%llu failed=%llu "
+                "tail-dominant=%s p99=%lluus cov>=%.4f\n",
+                pass, t_ms, static_cast<unsigned long long>(okops),
+                static_cast<unsigned long long>(failures), to_string(dom),
+                static_cast<unsigned long long>(agg.total_p99()),
+                agg.min_coverage());
     if (csv) {
       std::fprintf(csv, "%d,%.1f,%llu,%llu\n", pass, t_ms,
                    static_cast<unsigned long long>(failures),
                    static_cast<unsigned long long>(okops));
     }
+    if (att) {
+      std::fprintf(att, "%d,%.1f,%zu,%llu", pass, t_ms, agg.count(),
+                   static_cast<unsigned long long>(agg.total_p99()));
+      for (std::size_t s = 1; s < kTraceStageCount; ++s) {
+        std::fprintf(att, ",%llu",
+                     static_cast<unsigned long long>(
+                         agg.stage_p99(static_cast<TraceStage>(s))));
+      }
+      std::fprintf(att, ",%s,%.4f\n", to_string(dom), agg.min_coverage());
+    }
     cluster.run_for(sim_sec(1));  // let session expiry / recovery advance
   }
   if (csv) std::fclose(csv);
+  if (att) std::fclose(att);
 
   // Recovery accounting across coordinators.
   std::uint64_t recoveries = 0, suspicions = 0;
@@ -219,13 +265,23 @@ int main() {
   const bool reads_survive = total_failures == 0;
   const bool recovered = recoveries > 0;
   const bool rereplicated = fully_replicated >= sample * 7 / 10;
+  const bool attribution_flips =
+      (first_dom == TraceStage::kRetry ||
+       first_dom == TraceStage::kHintReplay) &&
+      last_dom == TraceStage::kService && worst_cov >= 0.95;
   std::printf("\nshape: zero failed reads through the crash: %s\n",
               reads_survive ? "yes" : "NO");
   std::printf("shape: read-triggered recovery ran: %s\n",
               recovered ? "yes" : "NO");
   std::printf("shape: >=70%% of sampled keys back to 3 copies: %s\n",
               rereplicated ? "yes" : "NO");
+  std::printf("shape: tail cause flips %s -> %s (cov>=%.4f): %s\n",
+              to_string(first_dom), to_string(last_dom), worst_cov,
+              attribution_flips ? "yes" : "NO");
 
   const bool repair_ok = run_repair_ablation();
-  return (reads_survive && recovered && rereplicated && repair_ok) ? 0 : 1;
+  return (reads_survive && recovered && rereplicated && attribution_flips &&
+          repair_ok)
+             ? 0
+             : 1;
 }

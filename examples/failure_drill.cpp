@@ -19,12 +19,16 @@
 // alerts and return the node to healthy. The monitor's time series is
 // dumped to failure_drill_timeseries.csv (byte-deterministic, diffed by
 // the CI determinism gate).
+#include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <string>
 
 #include "cluster/admin.h"
 #include "cluster/monitor.h"
 #include "cluster/sedna_cluster.h"
+#include "common/critical_path.h"
+#include "common/trace.h"
 #include "workload/kv_workload.h"
 
 using namespace sedna;
@@ -61,6 +65,21 @@ int main() {
   auto& monitor = cluster.enable_monitor();
   banner(cluster, "monitor attached: 500ms sampling, health + alert rules");
 
+  // Critical-path attribution plumbing: every client op trace is
+  // attributed the moment it finishes (before retention can evict it),
+  // so the aggregate sees 100% of traced requests while the tracer's
+  // memory stays bounded.
+  Tracer& tracer = cluster.sim().tracer();
+  AttributionAggregator agg;
+  std::string attribution_csv = attribution_csv_header();
+  tracer.set_on_trace_finished(
+      [&](TraceId id, const Tracer::TraceRecord& rec) {
+        if (rec.op.rfind("client.", 0) != 0) return;
+        agg.observe(id, rec);
+        attribution_csv +=
+            attribution_csv_row(id, rec, agg.rows().back().breakdown);
+      });
+
   auto& client = cluster.make_client();
   workload::KvWorkload wl;
   constexpr int kKeys = 500;
@@ -83,6 +102,9 @@ int main() {
   const NodeId crashed_id = cluster.node(2).id();
   cluster.crash_node(2);
   banner(cluster, "CRASH data node (one replica of ~half the keys gone)");
+  // Trace the whole kill window: the attribution verdict must pin the
+  // tail on retry/hint_replay time, not on healthy service time.
+  tracer.set_enabled(true);
   // Write into the outage window: replica sets that include the dead node
   // miss one copy, so coordinators queue hints against it — the backlog
   // the replica-lag alert watches until handoff replays it at t7.
@@ -97,6 +119,22 @@ int main() {
               "(third copies owed as hints)\n",
               cluster.sim().now() / 1000.0, hinted_ok);
   const int during = survey("during outage, before session expiry");
+  tracer.set_enabled(false);
+  const std::size_t outage_n = agg.count();
+  const double outage_cov = agg.min_coverage();
+  const TraceStage outage_dom = agg.tail_dominant(0.10);
+  const StageBreakdown outage_tail = agg.tail(0.10);
+  std::printf("[t=%7.1f ms]   attribution, kill window: %zu client ops, "
+              "slowest-10%% dominant=%s (retry=%llums service=%llums), "
+              "min coverage=%.4f\n",
+              cluster.sim().now() / 1000.0, outage_n,
+              to_string(outage_dom),
+              static_cast<unsigned long long>(
+                  outage_tail.stage_us(TraceStage::kRetry) / 1000),
+              static_cast<unsigned long long>(
+                  outage_tail.stage_us(TraceStage::kService) / 1000),
+              outage_cov);
+  agg.reset();
 
   // ---- t2/t3: expiry + read-triggered recovery ----------------------------
   cluster.run_for(sim_sec(3));
@@ -160,7 +198,47 @@ int main() {
   cluster.run_for(sim_sec(8));
   banner(cluster, "restarted the crashed members; node 2 rejoined, "
                   "hinted writes replayed");
+  // Trace the recovered cluster: the dominant tail cause must have
+  // flipped back from retry to plain service time.
+  tracer.set_enabled(true);
   const int final_ok = survey("final survey");
+  tracer.set_enabled(false);
+  const std::size_t recovered_n = agg.count();
+  const double recovered_cov = agg.min_coverage();
+  const TraceStage recovered_dom = agg.tail_dominant(0.10);
+  const StageBreakdown recovered_tail = agg.tail(0.10);
+  std::printf("[t=%7.1f ms]   attribution, recovered: %zu client ops, "
+              "slowest-10%% dominant=%s (service=%lluus net=%lluus "
+              "retry=%lluus), min coverage=%.4f\n",
+              cluster.sim().now() / 1000.0, recovered_n,
+              to_string(recovered_dom),
+              static_cast<unsigned long long>(
+                  recovered_tail.stage_us(TraceStage::kService)),
+              static_cast<unsigned long long>(
+                  recovered_tail.stage_us(TraceStage::kNet)),
+              static_cast<unsigned long long>(
+                  recovered_tail.stage_us(TraceStage::kRetry)),
+              recovered_cov);
+  agg.reset();
+  {
+    ClusterInspector peek(cluster);
+    std::printf("\n--- tail traces retained by the reservoir ---\n%s",
+                peek.tail_report().c_str());
+  }
+  std::printf("tracer retention: %zu traces / %zu spans retained, "
+              "%llu traces / %llu spans evicted\n",
+              tracer.retained_traces(), tracer.retained_spans(),
+              static_cast<unsigned long long>(tracer.evicted_traces()),
+              static_cast<unsigned long long>(tracer.evicted_spans()));
+  const bool retention_bounded =
+      tracer.retained_traces() <= tracer.policy().recent_traces +
+                                      tracer.policy().tail_per_window *
+                                          tracer.policy().max_windows_per_op *
+                                          8 &&
+      tracer.evicted_traces() > 0;
+  // Reset the store (keeps the attribution CSV: it was fed by the
+  // finished hook) so t8's single-trace walkthrough stays readable.
+  tracer.clear();
 
   // ---- t8: trace one degraded read end to end ----------------------------
   // Pick a key with three distinct replicas, hollow the third (crash +
@@ -233,6 +311,20 @@ int main() {
                   "(%zu samples)\n",
                   monitor.recorder().size());
     }
+    csv = std::fopen("failure_drill_attribution.csv", "w");
+    if (csv != nullptr) {
+      std::fputs(attribution_csv.c_str(), csv);
+      std::fclose(csv);
+      std::printf("per-trace attribution written to "
+                  "failure_drill_attribution.csv\n");
+    }
+    std::FILE* prom = std::fopen("failure_drill_metrics.prom", "w");
+    if (prom != nullptr) {
+      std::fputs(inspector.metrics_text().c_str(), prom);
+      std::fclose(prom);
+      std::printf("metrics exposition (with exemplars) written to "
+                  "failure_drill_metrics.prom\n");
+    }
   }
   bool hb_fired = false, hb_resolved = false;
   bool lag_fired = false, lag_resolved = false;
@@ -256,10 +348,21 @@ int main() {
               hb_fired, hb_resolved, lag_fired, lag_resolved, crashed_id,
               saw_suspect, saw_dead, back_healthy);
 
+  const bool attribution_ok =
+      outage_n > 0 && recovered_n > 0 &&
+      (outage_dom == TraceStage::kRetry ||
+       outage_dom == TraceStage::kHintReplay) &&
+      recovered_dom == TraceStage::kService && outage_cov >= 0.95 &&
+      recovered_cov >= 0.95 && retention_bounded;
+  std::printf("attribution verdict: kill-window dominant=%s, recovered "
+              "dominant=%s, worst per-trace coverage=%.4f -> %s\n",
+              to_string(outage_dom), to_string(recovered_dom),
+              std::min(outage_cov, recovered_cov),
+              attribution_ok ? "pass" : "FAIL");
   const bool ok = during == kKeys && after_zkf == kKeys &&
                   final_ok == kKeys && writes_ok == 50 &&
                   fully >= kKeys * 9 / 10 && recoveries > 0 && tree_ok &&
-                  monitor_ok;
+                  monitor_ok && attribution_ok;
   std::printf("\n%s\n", ok ? "drill passed: no read was ever lost, "
                              "recovery and failover worked, alerts fired "
                              "and resolved on schedule"

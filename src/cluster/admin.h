@@ -16,6 +16,7 @@
 
 #include "cluster/monitor.h"
 #include "cluster/sedna_cluster.h"
+#include "common/critical_path.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "ring/imbalance.h"
@@ -201,7 +202,7 @@ class ClusterInspector {
   }
 
   /// Cluster-wide Prometheus-style text exposition: every data node and
-  /// client registry, labeled, plus the merged totals.
+  /// client registry, labeled, plus the network and tracer registries.
   [[nodiscard]] std::string metrics_text() const {
     MetricsRegistry registry;
     for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
@@ -214,7 +215,65 @@ class ClusterInspector {
                       client.metrics());
     }
     registry.attach("network", cluster_.network().metrics());
+    // Tracer retention accounting (trace.evicted_* are the satellite
+    // memory-cap counters).
+    const Tracer& tracer = cluster_.sim().tracer();
+    MetricRegistry tracer_reg;
+    tracer_reg.counter("trace.evicted_spans").add(tracer.evicted_spans());
+    tracer_reg.counter("trace.evicted_traces").add(tracer.evicted_traces());
+    tracer_reg.counter("trace.retained_spans").add(tracer.retained_spans());
+    tracer_reg.counter("trace.retained_traces")
+        .add(tracer.retained_traces());
+    registry.attach("tracer", tracer_reg);
     return registry.prometheus_text();
+  }
+
+  /// Per-trace critical-path attribution of every retained finished
+  /// trace, as CSV. Deterministic: rows in trace-id order.
+  [[nodiscard]] std::string attribution_csv() const {
+    const Tracer& tracer = cluster_.sim().tracer();
+    std::string out = attribution_csv_header();
+    for (const TraceId id : tracer.finished_trace_ids()) {
+      const Tracer::TraceRecord* rec = tracer.trace(id);
+      if (rec == nullptr) continue;
+      out += attribution_csv_row(id, *rec, attribute_trace(rec->spans));
+    }
+    return out;
+  }
+
+  /// The tail reservoir, explained: per operation, the retained slowest
+  /// traces with their per-stage attribution and dominant cause.
+  [[nodiscard]] std::string tail_report() const {
+    const Tracer& tracer = cluster_.sim().tracer();
+    std::string out = "=== tail traces by operation ===\n";
+    char buf[160];
+    for (const auto& [op, ids] : tracer.tail_trace_ids()) {
+      std::snprintf(buf, sizeof buf, "op %s: %zu retained tail trace(s)\n",
+                    op.c_str(), ids.size());
+      out += buf;
+      for (const TraceId id : ids) {
+        const Tracer::TraceRecord* rec = tracer.trace(id);
+        if (rec == nullptr) continue;
+        const StageBreakdown bd = attribute_trace(rec->spans);
+        std::snprintf(buf, sizeof buf,
+                      "  trace %llu total=%lluus dominant=%s "
+                      "coverage=%.4f [",
+                      static_cast<unsigned long long>(id),
+                      static_cast<unsigned long long>(bd.total_us),
+                      to_string(bd.dominant()), bd.coverage());
+        out += buf;
+        for (std::size_t i = 1; i < kTraceStageCount; ++i) {
+          std::snprintf(buf, sizeof buf, "%s%s=%llu", i == 1 ? "" : " ",
+                        to_string(static_cast<TraceStage>(i)),
+                        static_cast<unsigned long long>(bd.us[i]));
+          out += buf;
+        }
+        std::snprintf(buf, sizeof buf, " unattributed=%llu]\n",
+                      static_cast<unsigned long long>(bd.unattributed_us()));
+        out += buf;
+      }
+    }
+    return out;
   }
 
   // ---- monitor surfaces (require cluster.enable_monitor()) --------------

@@ -50,11 +50,30 @@ std::string SednaClient::rpc_span_name(sim::MessageType type) const {
   }
 }
 
+TraceStage SednaClient::rpc_span_stage(sim::MessageType type) const {
+  switch (type) {
+    // The client-to-coordinator hop is the one true "network" stage of a
+    // request: the coordinator decomposes its own share into queue /
+    // service / replica waits under this span.
+    case kMsgClientWrite:
+    case kMsgClientRead:
+    case kMsgScan:
+      return TraceStage::kNet;
+    case zk::kMsgClientRequest:
+    case zk::kMsgSessionPing:
+      return TraceStage::kZk;
+    default:
+      return sim::Host::rpc_span_stage(type);
+  }
+}
+
 SednaClient::WriteCallback SednaClient::traced_write(const char* op,
                                                      WriteCallback cb) {
-  const TraceContext root = begin_trace(op);
-  if (!root.active()) return cb;
-  return [this, root, cb = std::move(cb)](const Status& st) {
+  const TraceContext root = begin_trace(op, TraceStage::kService);
+  const SimTime started = now();
+  return [this, root, started, cb = std::move(cb)](const Status& st) {
+    metrics_.histogram("client.write_latency_us")
+        .record(now() - started, root.trace_id);
     end_span(root.span_id, std::string(to_string(st.code())));
     cb(st);
   };
@@ -92,8 +111,8 @@ void SednaClient::do_write(WriteRequest req, int attempt, WriteCallback cb) {
   }
   // Attempt span: one per coordinator tried. Siblings under the op root,
   // so a retried write reads as attempt#0 (timeout) then attempt#1 (ok).
-  const SpanId span =
-      begin_span("client.write.attempt#" + std::to_string(attempt));
+  const SpanId span = begin_span(
+      "client.write.attempt#" + std::to_string(attempt), TraceStage::kService);
   const TraceContext parent = enter_span(span);
   // Encode before the lambda capture moves `req` (argument evaluation
   // order is unspecified).
@@ -131,10 +150,16 @@ void SednaClient::do_write(WriteRequest req, int attempt, WriteCallback cb) {
          metrics_.counter("client.write_retries").add(1);
          end_span(span, st.ok() ? "retry" : "timeout");
          const SimDuration backoff = retry_backoff(attempt + 1);
+         // The metadata re-sync + backoff sleep before the next attempt
+         // is real client-visible latency — span it as retry time.
+         const SpanId wait = tracer().begin(parent, "client.retry_wait", id(),
+                                            now(), TraceStage::kRetry);
          metadata_.sync_now([this, req = std::move(req), attempt, parent,
-                             backoff, cb = std::move(cb)]() mutable {
+                             backoff, wait, cb = std::move(cb)]() mutable {
            sim().schedule(backoff, [this, req = std::move(req), attempt,
-                                    parent, cb = std::move(cb)]() mutable {
+                                    parent, wait,
+                                    cb = std::move(cb)]() mutable {
+             tracer().end(wait, now());
              set_trace_context(parent);
              do_write(std::move(req), attempt + 1, std::move(cb));
            });
@@ -150,8 +175,8 @@ void SednaClient::do_read(ReadRequest req, int attempt,
     cb(Status::Unavailable("no replicas for key"));
     return;
   }
-  const SpanId span =
-      begin_span("client.read.attempt#" + std::to_string(attempt));
+  const SpanId span = begin_span(
+      "client.read.attempt#" + std::to_string(attempt), TraceStage::kService);
   const TraceContext parent = enter_span(span);
   std::string payload = req.encode();
   call_with_timeout(
@@ -181,10 +206,14 @@ void SednaClient::do_read(ReadRequest req, int attempt,
          metrics_.counter("client.read_retries").add(1);
          end_span(span, st.ok() ? "retry" : "timeout");
          const SimDuration backoff = retry_backoff(attempt + 1);
+         const SpanId wait = tracer().begin(parent, "client.retry_wait", id(),
+                                            now(), TraceStage::kRetry);
          metadata_.sync_now([this, req = std::move(req), attempt, parent,
-                             backoff, cb = std::move(cb)]() mutable {
+                             backoff, wait, cb = std::move(cb)]() mutable {
            sim().schedule(backoff, [this, req = std::move(req), attempt,
-                                    parent, cb = std::move(cb)]() mutable {
+                                    parent, wait,
+                                    cb = std::move(cb)]() mutable {
+             tracer().end(wait, now());
              set_trace_context(parent);
              do_read(std::move(req), attempt + 1, std::move(cb));
            });
@@ -318,9 +347,14 @@ void SednaClient::read_latest(const std::string& key, ReadLatestCallback cb) {
   ReadRequest req;
   req.mode = ReadMode::kLatest;
   req.key = key;
-  const TraceContext root = begin_trace("client.read_latest");
+  const TraceContext root =
+      begin_trace("client.read_latest", TraceStage::kService);
+  const SimTime started = now();
   do_read(std::move(req), 0,
-          [this, root, cb = std::move(cb)](const Result<ReadReply>& rep) {
+          [this, root, started,
+           cb = std::move(cb)](const Result<ReadReply>& rep) {
+            metrics_.histogram("client.read_latency_us")
+                .record(now() - started, root.trace_id);
             end_span(root.span_id,
                      std::string(to_string(rep.ok() ? rep->status
                                                     : rep.status().code())));
@@ -342,9 +376,14 @@ void SednaClient::read_all(const std::string& key, ReadAllCallback cb) {
   ReadRequest req;
   req.mode = ReadMode::kAll;
   req.key = key;
-  const TraceContext root = begin_trace("client.read_all");
+  const TraceContext root =
+      begin_trace("client.read_all", TraceStage::kService);
+  const SimTime started = now();
   do_read(std::move(req), 0,
-          [this, root, cb = std::move(cb)](const Result<ReadReply>& rep) {
+          [this, root, started,
+           cb = std::move(cb)](const Result<ReadReply>& rep) {
+            metrics_.histogram("client.read_latency_us")
+                .record(now() - started, root.trace_id);
             end_span(root.span_id,
                      std::string(to_string(rep.ok() ? rep->status
                                                     : rep.status().code())));

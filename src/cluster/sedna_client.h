@@ -110,6 +110,8 @@ class SednaClient : public sim::Host {
   void on_message(const sim::Message& msg) override;
   [[nodiscard]] std::string rpc_span_name(
       sim::MessageType type) const override;
+  [[nodiscard]] TraceStage rpc_span_stage(
+      sim::MessageType type) const override;
 
  private:
   /// Opens a root span for one public write op and returns a callback

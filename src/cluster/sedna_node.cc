@@ -364,6 +364,30 @@ std::string SednaNode::rpc_span_name(sim::MessageType type) const {
   }
 }
 
+TraceStage SednaNode::rpc_span_stage(sim::MessageType type) const {
+  switch (type) {
+    // Replica fan-out waits: what the coordinator experiences is "time
+    // until enough replicas answered" — attributed to service (the wire
+    // share of an intra-cluster hop rides along; see DESIGN.md §5g).
+    case kMsgReplicaWrite:
+    case kMsgReplicaRead:
+      return TraceStage::kService;
+    case kMsgFetchVnode:
+    case kMsgMigrateVnode:
+      return TraceStage::kMigration;
+    case kMsgScan:
+    case kMsgVnodeDigest:
+      return TraceStage::kRepair;
+    case kMsgHintDeliver:
+      return TraceStage::kHintReplay;
+    case zk::kMsgClientRequest:
+    case zk::kMsgSessionPing:
+      return TraceStage::kZk;
+    default:
+      return sim::Host::rpc_span_stage(type);
+  }
+}
+
 void SednaNode::on_crash() {
   // Volatile state dies with the process; the LocalStore empties (it is
   // RAM) and in-flight coordination is dropped. Persistence files remain
@@ -460,7 +484,8 @@ void SednaNode::handle_replica_write(const sim::Message& msg) {
     rep.status = apply_write(*req);
     metrics_.counter("replica.writes").add(1);
   }
-  instant_span("replica.write", std::string(to_string(rep.status)));
+  instant_span("replica.write", std::string(to_string(rep.status)),
+               TraceStage::kService);
   reply(msg, rep.encode());
 }
 
@@ -474,7 +499,8 @@ void SednaNode::handle_replica_read(const sim::Message& msg) {
   }
   metrics_.counter("replica.reads").add(1);
   ReadReply rep = local_read(*req);
-  instant_span("replica.read", std::string(to_string(rep.status)));
+  instant_span("replica.read", std::string(to_string(rep.status)),
+               TraceStage::kService);
   reply(msg, rep.encode());
 }
 
@@ -497,7 +523,8 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
   metrics_.counter("coordinator.writes").add(1);
   if (config_.hot_key_capacity > 0) hot_keys_.record(req.key);
   const SimTime started = now();
-  const SpanId coord_span = begin_span("coord.write");
+  const TraceId trace = trace_context().trace_id;
+  const SpanId coord_span = begin_span("coord.write", TraceStage::kService);
   const TraceContext prev_ctx = enter_span(coord_span);
 
   struct WriteState {
@@ -511,7 +538,7 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
   const sim::Message origin = msg;
   const auto total = static_cast<std::uint32_t>(replicas.size());
 
-  auto settle = [this, state, origin, cfg, total, started, vnode,
+  auto settle = [this, state, origin, cfg, total, started, vnode, trace,
                  coord_span, key = req.key]() {
     if (state->replied) return;
     WriteReply rep;
@@ -526,7 +553,8 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
       metrics_.counter("coordinator.write_quorum_failures").add(1);
     }
     state->replied = true;
-    metrics_.histogram("coordinator.write_latency_us").record(now() - started);
+    metrics_.histogram("coordinator.write_latency_us")
+        .record(now() - started, trace);
     end_span(coord_span, std::string(to_string(rep.status)));
     reply(origin, rep.encode());
   };
@@ -535,7 +563,8 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
   for (NodeId replica : replicas) {
     if (replica == id()) {
       const StatusCode st = apply_write(req);
-      instant_span("coord.local_write", std::string(to_string(st)));
+      instant_span("coord.local_write", std::string(to_string(st)),
+                   TraceStage::kService);
       ++state->responses;
       if (st == StatusCode::kOk) {
         ++state->acks;
@@ -589,7 +618,8 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
   metrics_.counter("coordinator.reads").add(1);
   if (config_.hot_key_capacity > 0) hot_keys_.record(req.key);
   const SimTime started = now();
-  const SpanId coord_span = begin_span("coord.read");
+  const TraceId trace = trace_context().trace_id;
+  const SpanId coord_span = begin_span("coord.read", TraceStage::kService);
   const TraceContext prev_ctx = enter_span(coord_span);
 
   struct ReadState {
@@ -606,7 +636,7 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
   const sim::Message origin = msg;
   const auto total = static_cast<std::uint32_t>(replicas.size());
 
-  auto settle = [this, state, origin, cfg, total, started, coord_span,
+  auto settle = [this, state, origin, cfg, total, started, trace, coord_span,
                  req]() {
     if (state->replied) return;
 
@@ -628,7 +658,7 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
           state->has_answer = true;
           state->answer = rep.latest;
           metrics_.histogram("coordinator.read_latency_us")
-              .record(now() - started);
+              .record(now() - started, trace);
           ReadReply out = rep;
           out.status = StatusCode::kOk;
           end_span(coord_span, "ok");
@@ -656,7 +686,7 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
       }
       state->replied = true;
       metrics_.histogram("coordinator.read_latency_us")
-          .record(now() - started);
+          .record(now() - started, trace);
       ReadReply out;
       if (freshest != nullptr) {
         out = *freshest;
@@ -691,7 +721,8 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
     const bool exhausted = state->responses >= total;
     if (successes < cfg.read_quorum && !exhausted) return;
     state->replied = true;
-    metrics_.histogram("coordinator.read_latency_us").record(now() - started);
+    metrics_.histogram("coordinator.read_latency_us")
+        .record(now() - started, trace);
     ReadReply out;
     std::map<NodeId, store::SourceValue> merged;
     for (const auto& [node, rep] : state->replies) {
@@ -714,7 +745,8 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
   for (NodeId replica : replicas) {
     if (replica == id()) {
       ReadReply rep = local_read(req);
-      instant_span("coord.local_read", std::string(to_string(rep.status)));
+      instant_span("coord.local_read", std::string(to_string(rep.status)),
+                   TraceStage::kService);
       state->replies.emplace_back(id(), std::move(rep));
       ++state->responses;
       settle();
@@ -755,7 +787,7 @@ void SednaNode::read_repair(const std::string& key,
   metrics_.counter("coordinator.read_repairs").add(1);
   // The repair span closes when the last stale replica has been pushed,
   // so its duration covers the backfill round trips.
-  const SpanId span = begin_span("coord.read_repair");
+  const SpanId span = begin_span("coord.read_repair", TraceStage::kRepair);
   const TraceContext prev = enter_span(span);
   WriteRequest req;
   req.mode = WriteMode::kLatest;
@@ -789,7 +821,7 @@ void SednaNode::suspect_node(NodeId replica, VnodeId vnode) {
     return;
   }
   metrics_.counter("failure.suspicions").add(1);
-  const SpanId span = begin_span("failure.suspect");
+  const SpanId span = begin_span("failure.suspect", TraceStage::kRepair);
   const TraceContext prev = enter_span(span);
   const TraceContext span_ctx = trace_context();
   zk_.exists(real_node_znode(replica),
@@ -835,7 +867,7 @@ void SednaNode::start_recovery(VnodeId vnode, NodeId dead) {
   if (recovering_.contains(vnode)) return;
   recovering_.insert(vnode);
   metrics_.counter("failure.recoveries_started").add(1);
-  instant_span("recovery.start");
+  instant_span("recovery.start", "ok", TraceStage::kRepair);
 
   // Healthy sources for the slice: the vnode's other current replicas.
   auto sources = metadata_.table().replicas_for_vnode(vnode);
@@ -916,7 +948,8 @@ void SednaNode::start_recovery(VnodeId vnode, NodeId dead) {
                     }
                     metadata_.apply_local(vnode, target);
                     metrics_.counter("failure.recoveries_completed").add(1);
-                    instant_span("recovery.reassigned");
+                    instant_span("recovery.reassigned", "ok",
+                                 TraceStage::kRepair);
                     append_change_journal(vnode, target, [this, vnode,
                                                           target, sources] {
                       // Tell the new owner to pull the slice from the
@@ -1306,6 +1339,13 @@ void SednaNode::replay_hints_to(NodeId target) {
     finish_hint_batch(target, /*failed=*/false);
     return;
   }
+  // The replay daemon runs outside any request context; each batch gets
+  // its own trace so replay storms are attributable (no-op when the
+  // tracer is disabled). The root closes in finish_hint_batch.
+  const TraceContext replay_ctx =
+      begin_trace("hints.replay", TraceStage::kHintReplay);
+  q.replay_span = replay_ctx.span_id;
+  tracer().annotate(q.replay_span, "target=" + std::to_string(target));
   auto outstanding = std::make_shared<std::size_t>(batch.size());
   auto failures = std::make_shared<std::uint32_t>(0);
   for (const auto& key : batch) {
@@ -1338,6 +1378,7 @@ void SednaNode::replay_hints_to(NodeId target) {
            }
          });
   }
+  set_trace_context({});
 }
 
 void SednaNode::finish_hint_batch(NodeId target, bool failed) {
@@ -1345,6 +1386,10 @@ void SednaNode::finish_hint_batch(NodeId target, bool failed) {
   if (it == hint_queues_.end()) return;
   HintQueue& q = it->second;
   q.in_flight = false;
+  if (q.replay_span != 0) {
+    end_span(q.replay_span, failed ? "failure" : "ok");
+    q.replay_span = 0;
+  }
   if (failed) {
     bump_hint_backoff(q);
     return;
@@ -1366,7 +1411,8 @@ void SednaNode::handle_hint_deliver(const sim::Message& msg) {
     rep.status = apply_write(req->write);
     metrics_.counter("replica.hints_received").add(1);
   }
-  instant_span("replica.hint_apply", std::string(to_string(rep.status)));
+  instant_span("replica.hint_apply", std::string(to_string(rep.status)),
+               TraceStage::kHintReplay);
   reply(msg, rep.encode());
 }
 
@@ -1422,7 +1468,8 @@ void SednaNode::sync_vnode(VnodeId vnode, std::function<void()> done) {
   }
   // The daemon runs outside any request context; open a dedicated trace
   // so repair exchanges show up in trace dumps (no-op while disabled).
-  const TraceContext ctx = begin_trace("antientropy.sync");
+  const TraceContext ctx =
+      begin_trace("antientropy.sync", TraceStage::kRepair);
   auto finish = [this, root = ctx.span_id, done = std::move(done)] {
     end_span(root);
     set_trace_context({});
@@ -1469,7 +1516,7 @@ void SednaNode::sync_vnode_peer(VnodeId vnode,
 void SednaNode::reconcile_with_peer(VnodeId vnode, NodeId peer,
                                     const VnodeDigestReply& rep,
                                     std::function<void()> done) {
-  const SpanId span = begin_span("antientropy.reconcile");
+  const SpanId span = begin_span("antientropy.reconcile", TraceStage::kRepair);
   const TraceContext prev = enter_span(span);
 
   // Local view of the mismatched buckets.
@@ -1700,10 +1747,20 @@ void SednaNode::run_traffic_plan(const ring::ImbalanceTable& table,
   for (const MigrationPlan& m : moves) {
     ++migrations_dispatched_;
     metrics_.counter("rebalance.migrations_started").add(1);
+    // One trace per move, rooted at the leader: the destination continues
+    // the context carried by the dispatch RPC, so the whole protocol
+    // (snapshot → catch-up → cutover → drain) is one span tree.
+    const TraceContext mroot =
+        begin_trace("rebalance.migration", TraceStage::kMigration);
+    tracer().annotate(mroot.span_id,
+                      "vnode=" + std::to_string(m.vnode) +
+                          " from=" + std::to_string(m.from) +
+                          " to=" + std::to_string(m.to));
     MigrateVnodeRequest req{m.vnode, m.from};
     call_with_timeout(
         m.to, kMsgMigrateVnode, req.encode(), config_.migration_timeout,
-        [this](const Status& st, const std::string& body) {
+        [this, root = mroot.span_id](const Status& st,
+                                     const std::string& body) {
           if (migrations_dispatched_ > 0) --migrations_dispatched_;
           auto rep = st.ok() ? MigrateVnodeReply::decode(body)
                              : Result<MigrateVnodeReply>(st);
@@ -1711,9 +1768,14 @@ void SednaNode::run_traffic_plan(const ring::ImbalanceTable& table,
             // Completion metrics live on the destination; the leader only
             // tracks dispatches that came back without a commit.
             metrics_.counter("rebalance.migrations_failed").add(1);
+            end_span(root, "failure");
+          } else {
+            end_span(root, "ok");
           }
+          set_trace_context({});
         });
   }
+  set_trace_context({});
 }
 
 void SednaNode::handle_migrate_vnode(const sim::Message& msg) {
@@ -1737,25 +1799,47 @@ void SednaNode::begin_migration(
   }
   migrating_in_.insert(vnode);
   metrics_.counter("rebalance.migrations_accepted").add(1);
-  // The protocol runs outside any request context; open a dedicated trace
-  // so migrations show up in trace dumps (no-op while disabled).
-  const TraceContext ctx = begin_trace("rebalance.migration");
+  // Trace continuation: a leader-dispatched migration arrives with the
+  // leader's context stamped on the RPC — run as a child span so the
+  // whole protocol is one tree rooted at the leader. Direct invocations
+  // (tests, joins) open their own root. No-op while the tracer is off.
+  SpanId root = 0;
+  if (trace_context().active()) {
+    root = begin_span("migration.run", TraceStage::kMigration);
+    enter_span(root);
+  } else {
+    root = begin_trace("rebalance.migration", TraceStage::kMigration).span_id;
+  }
+  tracer().annotate(root, "vnode=" + std::to_string(vnode) +
+                              " from=" + std::to_string(from));
+  const TraceContext mctx = trace_context();
+  // Opens a protocol-phase span under the migration root and makes it
+  // current, so each phase's RPCs parent beneath it.
+  auto enter_phase = [this, mctx](const char* name) {
+    const SpanId s =
+        tracer().begin(mctx, name, id(), now(), TraceStage::kMigration);
+    if (s != 0) set_trace_context(TraceContext{mctx.trace_id, s});
+    return s;
+  };
   // `migrating_in_` doubles as the liveness token: on_crash clears it, so
   // any continuation that still fires afterwards (stale RPC callbacks
   // delivered post-restart) must bail out instead of touching the store.
-  auto finish = [this, vnode, root = ctx.span_id, state,
+  auto finish = [this, vnode, root, state,
                  done = std::move(done)](bool committed) {
     migrating_in_.erase(vnode);
     if (!committed) metrics_.counter("rebalance.migrations_aborted").add(1);
-    end_span(root);
+    end_span(root, committed ? "ok" : "failure");
     set_trace_context({});
     done(*state);
   };
   // Phase 1: bulk snapshot pull from the current owner.
+  const SpanId snap = enter_phase("migrate.snapshot");
   fetch_vnode_from(
       vnode, {from}, 0,
-      [this, vnode, from, state, finish](bool fetched, std::uint64_t bytes) {
+      [this, vnode, from, state, finish, enter_phase,
+       snap](bool fetched, std::uint64_t bytes) {
         if (!migrating_in_.contains(vnode)) return;
+        end_span(snap, fetched ? "ok" : "failure");
         if (!fetched) {
           state->status = StatusCode::kUnavailable;
           finish(false);
@@ -1764,9 +1848,12 @@ void SednaNode::begin_migration(
         state->bytes += bytes;
         // Phase 2: delta catch-up — writes that landed at the source while
         // the snapshot was in flight.
-        migration_catchup(vnode, from, [this, vnode, from, state, finish](
+        const SpanId catchup = enter_phase("migrate.catchup");
+        migration_catchup(vnode, from, [this, vnode, from, state, finish,
+                                        enter_phase, catchup](
                                            bool caught, std::size_t keys) {
           if (!migrating_in_.contains(vnode)) return;
+          end_span(catchup, caught ? "ok" : "failure");
           if (!caught) {
             state->status = StatusCode::kUnavailable;
             finish(false);
@@ -1776,12 +1863,15 @@ void SednaNode::begin_migration(
           // Phase 3: atomic cutover — re-verify the owner, then CAS the
           // vnode znode to us under its version.
           const SimTime cut_start = now();
+          const SpanId cutover = enter_phase("migrate.cutover");
           zk_.get(
               vnode_znode(vnode),
-              [this, vnode, from, state, finish, cut_start](
+              [this, vnode, from, state, finish, cut_start, enter_phase,
+               cutover](
                   const Result<std::pair<std::string, zk::ZnodeStat>>& got) {
                 if (!migrating_in_.contains(vnode)) return;
                 if (!got.ok()) {
+                  end_span(cutover, "failure");
                   // Unknown outcome territory (ZK unreachable): keep the
                   // pulled data — it is never wrong to hold extra
                   // replicas — and let the leader retry later.
@@ -1795,6 +1885,7 @@ void SednaNode::begin_migration(
                   // Plan went stale: the slice moved under the leader's
                   // feet. Definite no-go — drop the pulled copy (unless
                   // the walk keeps us as a successor replica).
+                  end_span(cutover, "stale");
                   state->status = StatusCode::kRefused;
                   purge_local_vnode(vnode);
                   finish(false);
@@ -1805,10 +1896,14 @@ void SednaNode::begin_migration(
                 zk_.set(
                     vnode_znode(vnode), std::move(w).take(),
                     got->second.version,
-                    [this, vnode, from, state, finish,
-                     cut_start](const Result<zk::ZnodeStat>& set) {
+                    [this, vnode, from, state, finish, cut_start,
+                     enter_phase, cutover](const Result<zk::ZnodeStat>& set) {
                       if (!migrating_in_.contains(vnode)) return;
                       if (!set.ok()) {
+                        end_span(cutover,
+                                 set.status().is(StatusCode::kTimeout)
+                                     ? "timeout"
+                                     : "failure");
                         if (set.status().is(StatusCode::kFailure) ||
                             set.status().is(StatusCode::kNotFound)) {
                           // Definite CAS loss: the version moved, so
@@ -1830,19 +1925,24 @@ void SednaNode::begin_migration(
                       metadata_.apply_local(vnode, id());
                       state->cutover_us = now() - cut_start;
                       metrics_.histogram("rebalance.cutover_latency_us")
-                          .record(state->cutover_us);
+                          .record(state->cutover_us,
+                                  trace_context().trace_id);
+                      end_span(cutover, "ok");
                       append_change_journal(vnode, id(), [this, vnode, from,
-                                                          state, finish] {
+                                                          state, finish,
+                                                          enter_phase] {
                         if (!migrating_in_.contains(vnode)) return;
                         // Phase 4: drain catch-up — writes the old owner
                         // acked between phase 2 and the cutover landing.
                         // Best-effort: a miss here is converged later by
                         // anti-entropy against the surviving replicas.
+                        const SpanId drain = enter_phase("migrate.drain");
                         migration_catchup(
                             vnode, from,
-                            [this, vnode, from, state, finish](
+                            [this, vnode, from, state, finish, drain](
                                 bool, std::size_t keys) {
                               if (!migrating_in_.contains(vnode)) return;
+                              end_span(drain);
                               state->items += keys;
                               // Phase 5: invite the old owner to drop its
                               // copy (it re-checks replica membership
@@ -1955,7 +2055,7 @@ void SednaNode::handle_vnode_digest(const sim::Message& msg) {
   if (local.size() == req->buckets.size() &&
       store_->digest_root(req->vnode) == req->root) {
     rep.match = true;
-    instant_span("antientropy.digest_match");
+    instant_span("antientropy.digest_match", "ok", TraceStage::kRepair);
     reply(msg, rep.encode());
     return;
   }
@@ -1990,7 +2090,7 @@ void SednaNode::handle_vnode_digest(const sim::Message& msg) {
         ks.list_digest = store::LocalStore::value_list_digest(item.value_list);
         rep.keys.push_back(std::move(ks));
       });
-  instant_span("antientropy.digest_mismatch");
+  instant_span("antientropy.digest_mismatch", "ok", TraceStage::kRepair);
   reply(msg, rep.encode());
 }
 

@@ -184,6 +184,8 @@ class SednaNode : public sim::Host {
   void on_crash() override;
   [[nodiscard]] std::string rpc_span_name(
       sim::MessageType type) const override;
+  [[nodiscard]] TraceStage rpc_span_stage(
+      sim::MessageType type) const override;
 
  private:
   // Coordinator paths.
@@ -248,6 +250,8 @@ class SednaNode : public sim::Host {
     SimTime next_attempt = 0;
     SimDuration backoff = 0;
     bool in_flight = false;
+    /// Root span of the in-flight replay batch's trace (0 when untraced).
+    SpanId replay_span = 0;
   };
 
   /// Queues (or upgrades) a hint after a replica write RPC failed.

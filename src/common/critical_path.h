@@ -1,0 +1,266 @@
+// Critical-path latency attribution over finished span trees.
+//
+// Given one trace (the spans of a single client request, migration, ...),
+// `attribute_trace` walks the tree *backwards* from the root span's end,
+// follows the latest-ending child at every step, and charges each slice of
+// wall-clock time to the stage of the span that was "responsible" for it.
+// The walk telescopes exactly: the per-stage sums add up to the root
+// span's duration, so coverage only drops below 1.0 when time lands on
+// spans tagged TraceStage::kUnknown — reported as `unattributed`, never
+// silently dropped. The repo-wide invariant (asserted by the failure
+// drill and the attribution tests) is coverage ≥ 0.95 for every traced
+// request.
+//
+// Two twists make the attribution match operator intuition:
+//   * Failure reclassification: a span that ended in "timeout" /
+//     "crashed" / "retry" charges its time to the `retry` stage no matter
+//     what it was doing — the caller spent that time waiting on something
+//     that never answered.
+//   * Cause inheritance: once the walk enters a subtree whose stage is a
+//     *cause* (zk, retry, repair, migration, hint_replay), the whole
+//     subtree is charged to that cause. A ZooKeeper RPC issued from a
+//     repair handler is repair time, not zk time: the mechanism below is
+//     not interesting, the reason the request detoured is.
+//
+// `AttributionAggregator` folds many traces into per-stage Histograms and
+// tail summaries; benches and the failure drill feed it from the Tracer's
+// on_trace_finished hook so it sees every trace before retention can
+// evict it.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace sedna {
+
+/// Stage a span's time is charged to: failed spans become retry time.
+inline TraceStage effective_stage(const Span& s) {
+  if (s.status == "timeout" || s.status == "crashed" ||
+      s.status == "retry") {
+    return TraceStage::kRetry;
+  }
+  return s.stage;
+}
+
+/// Stages that taint their whole subtree (see header comment).
+inline constexpr bool inherits_to_children(TraceStage s) {
+  switch (s) {
+    case TraceStage::kZk:
+    case TraceStage::kRetry:
+    case TraceStage::kRepair:
+    case TraceStage::kMigration:
+    case TraceStage::kHintReplay:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Per-stage latency split of one or many traces.
+struct StageBreakdown {
+  std::array<std::uint64_t, kTraceStageCount> us{};
+  /// Measured end-to-end time (root duration; summed across traces).
+  std::uint64_t total_us = 0;
+
+  [[nodiscard]] std::uint64_t stage_us(TraceStage s) const {
+    return us[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] std::uint64_t unattributed_us() const {
+    return us[static_cast<std::size_t>(TraceStage::kUnknown)];
+  }
+  /// Fraction of end-to-end time charged to a named stage. Empty
+  /// breakdowns are vacuously fully covered.
+  [[nodiscard]] double coverage() const {
+    if (total_us == 0) return 1.0;
+    return 1.0 - static_cast<double>(unattributed_us()) /
+                     static_cast<double>(total_us);
+  }
+  /// Named stage with the most charged time (ties break toward the
+  /// lower-numbered stage); kUnknown when nothing was attributed.
+  [[nodiscard]] TraceStage dominant() const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < kTraceStageCount; ++i) {
+      if (us[i] > (best == 0 ? 0 : us[best])) best = i;
+    }
+    return static_cast<TraceStage>(best);
+  }
+  void merge(const StageBreakdown& other) {
+    for (std::size_t i = 0; i < kTraceStageCount; ++i) us[i] += other.us[i];
+    total_us += other.total_us;
+  }
+};
+
+/// Extracts the critical path of a finished trace and attributes the root
+/// span's duration per stage. Unfinished traces yield an empty breakdown.
+inline StageBreakdown attribute_trace(const std::vector<Span>& spans) {
+  StageBreakdown out;
+  if (spans.empty()) return out;
+  const Span* root = nullptr;
+  std::map<SpanId, std::vector<const Span*>> children;
+  for (const Span& s : spans) {
+    if (s.parent == 0) {
+      if (root == nullptr) root = &s;
+    } else {
+      children[s.parent].push_back(&s);
+    }
+  }
+  if (root == nullptr || !root->finished()) return out;
+  // Latest-ending child first: the backward walk always follows the span
+  // that was still running closest to the deadline.
+  for (auto& [parent, kids] : children) {
+    std::sort(kids.begin(), kids.end(), [](const Span* a, const Span* b) {
+      if (a->end_us != b->end_us) return a->end_us > b->end_us;
+      if (a->start_us != b->start_us) return a->start_us > b->start_us;
+      return a->id > b->id;
+    });
+  }
+  out.total_us = root->end_us - root->start_us;
+
+  // Walks span `s` covering [s.start_us, hi]; charges gaps between
+  // children to `s`'s own stage and recurses into each on-path child.
+  auto walk = [&](auto&& self, const Span& s, SimTime hi,
+                  TraceStage inherited) -> void {
+    const TraceStage eff =
+        inherited != TraceStage::kUnknown ? inherited : effective_stage(s);
+    const TraceStage child_inherit =
+        inherits_to_children(eff) ? eff : TraceStage::kUnknown;
+    const std::size_t eff_idx = static_cast<std::size_t>(eff);
+    SimTime t = hi;
+    const auto it = children.find(s.id);
+    if (it != children.end()) {
+      for (const Span* c : it->second) {
+        if (!c->finished()) continue;        // straggler still open
+        if (c->end_us > t) continue;         // ends after the path point
+        if (c->end_us <= s.start_us) break;  // sorted: rest end earlier too
+        if (c->start_us >= c->end_us) continue;  // zero-width instant
+        out.us[eff_idx] += t - c->end_us;    // gap above the child: ours
+        self(self, *c, c->end_us, child_inherit);
+        t = std::max(s.start_us, c->start_us);
+        if (t <= s.start_us) break;
+      }
+    }
+    if (t > s.start_us) out.us[eff_idx] += t - s.start_us;
+  };
+  walk(walk, *root, root->end_us, TraceStage::kUnknown);
+  return out;
+}
+
+/// Folds per-trace breakdowns into per-stage distributions and tail
+/// summaries. Deterministic: rows are kept in observation (= trace
+/// finish) order and every tie-break is by trace id.
+class AttributionAggregator {
+ public:
+  struct Row {
+    TraceId trace = 0;
+    std::uint64_t total_us = 0;
+    StageBreakdown breakdown;
+  };
+
+  /// Feed from Tracer::set_on_trace_finished (optionally filtered by
+  /// rec.op) or from any retained trace.
+  void observe(TraceId id, const Tracer::TraceRecord& rec) {
+    Row row;
+    row.trace = id;
+    row.breakdown = attribute_trace(rec.spans);
+    row.total_us = row.breakdown.total_us;
+    min_coverage_ = std::min(min_coverage_, row.breakdown.coverage());
+    for (std::size_t i = 0; i < kTraceStageCount; ++i) {
+      stage_hist_[i].record(row.breakdown.us[i]);
+    }
+    total_hist_.record(row.total_us);
+    sum_.merge(row.breakdown);
+    rows_.push_back(std::move(row));
+  }
+
+  [[nodiscard]] std::size_t count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+  /// Worst per-trace coverage seen (1.0 when nothing observed yet).
+  [[nodiscard]] double min_coverage() const { return min_coverage_; }
+  [[nodiscard]] const StageBreakdown& sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t stage_p99(TraceStage s) const {
+    return stage_hist_[static_cast<std::size_t>(s)].quantile(0.99);
+  }
+  [[nodiscard]] std::uint64_t total_p99() const {
+    return total_hist_.quantile(0.99);
+  }
+
+  /// Merged breakdown of the slowest `frac` of observed traces (at least
+  /// one). Dominance assertions use this rather than single traces so a
+  /// lone jittered request cannot flip the verdict.
+  [[nodiscard]] StageBreakdown tail(double frac) const {
+    StageBreakdown out;
+    if (rows_.empty()) return out;
+    std::vector<const Row*> sorted;
+    sorted.reserve(rows_.size());
+    for (const Row& r : rows_) sorted.push_back(&r);
+    std::sort(sorted.begin(), sorted.end(), [](const Row* a, const Row* b) {
+      if (a->total_us != b->total_us) return a->total_us > b->total_us;
+      return a->trace < b->trace;
+    });
+    std::size_t take = static_cast<std::size_t>(
+        static_cast<double>(sorted.size()) * frac + 0.999999);
+    take = std::clamp<std::size_t>(take, 1, sorted.size());
+    for (std::size_t i = 0; i < take; ++i) out.merge(sorted[i]->breakdown);
+    return out;
+  }
+  [[nodiscard]] TraceStage tail_dominant(double frac) const {
+    return tail(frac).dominant();
+  }
+
+  void reset() { *this = AttributionAggregator{}; }
+
+ private:
+  std::vector<Row> rows_;
+  std::array<Histogram, kTraceStageCount> stage_hist_{};
+  Histogram total_hist_;
+  StageBreakdown sum_;
+  double min_coverage_ = 1.0;
+};
+
+/// CSV header shared by the drill and bench attribution exports.
+inline std::string attribution_csv_header() {
+  std::string out = "trace,op,start_us,total_us";
+  for (std::size_t i = 1; i < kTraceStageCount; ++i) {
+    out += ",";
+    out += to_string(static_cast<TraceStage>(i));
+    out += "_us";
+  }
+  out += ",unattributed_us,coverage,dominant\n";
+  return out;
+}
+
+/// One attribution_csv row for a finished trace.
+inline std::string attribution_csv_row(TraceId id,
+                                       const Tracer::TraceRecord& rec,
+                                       const StageBreakdown& bd) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%llu,", static_cast<unsigned long long>(id));
+  std::string out = buf;
+  out += rec.op;
+  std::snprintf(buf, sizeof buf, ",%llu,%llu",
+                static_cast<unsigned long long>(rec.start_us),
+                static_cast<unsigned long long>(bd.total_us));
+  out += buf;
+  for (std::size_t i = 1; i < kTraceStageCount; ++i) {
+    std::snprintf(buf, sizeof buf, ",%llu",
+                  static_cast<unsigned long long>(bd.us[i]));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, ",%llu,%.4f,",
+                static_cast<unsigned long long>(bd.unattributed_us()),
+                bd.coverage());
+  out += buf;
+  out += to_string(bd.dominant());
+  out += "\n";
+  return out;
+}
+
+}  // namespace sedna

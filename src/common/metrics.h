@@ -24,14 +24,33 @@ class Counter {
 /// Log-bucketed histogram for latency-like quantities (microseconds).
 /// Buckets are [2^i, 2^(i+1)); quantile estimates interpolate inside a
 /// bucket. Cheap enough to record every simulated request.
+///
+/// Each bucket optionally keeps one *exemplar* — the trace id of a
+/// representative request that landed there (largest value wins; ties
+/// keep the earliest trace). Tail buckets thereby link straight from a
+/// p99 number to a retained trace that explains it.
 class Histogram {
  public:
-  void record(std::uint64_t v) {
+  struct Exemplar {
+    std::uint64_t value = 0;
+    std::uint64_t trace = 0;
+  };
+
+  void record(std::uint64_t v) { record(v, 0); }
+
+  /// Records a sample with the trace that produced it (0 = untraced).
+  void record(std::uint64_t v, std::uint64_t trace) {
     ++count_;
     sum_ += v;
     min_ = std::min(min_, v);
     max_ = std::max(max_, v);
     ++buckets_[bucket_index(v)];
+    if (trace != 0) offer_exemplar(bucket_index(v), Exemplar{v, trace});
+  }
+
+  /// Bucket index → exemplar, for populated buckets with a traced sample.
+  [[nodiscard]] const std::map<std::size_t, Exemplar>& exemplars() const {
+    return exemplars_;
   }
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
@@ -82,6 +101,9 @@ class Histogram {
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
       buckets_[i] += other.buckets_[i];
     }
+    for (const auto& [bucket, e] : other.exemplars_) {
+      offer_exemplar(bucket, e);
+    }
   }
 
  private:
@@ -90,11 +112,20 @@ class Histogram {
     return static_cast<std::size_t>(63 - __builtin_clzll(v));
   }
 
+  void offer_exemplar(std::size_t bucket, Exemplar e) {
+    Exemplar& cur = exemplars_[bucket];
+    if (cur.trace == 0 || e.value > cur.value ||
+        (e.value == cur.value && e.trace < cur.trace)) {
+      cur = e;
+    }
+  }
+
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t min_ = static_cast<std::uint64_t>(-1);
   std::uint64_t max_ = 0;
   std::array<std::uint64_t, 64> buckets_{};
+  std::map<std::size_t, Exemplar> exemplars_;
 };
 
 /// Named metric registry; one per node / per bench run. (For the
@@ -188,6 +219,22 @@ class MetricsRegistry {
         std::snprintf(buf, sizeof buf, " %llu\n",
                       static_cast<unsigned long long>(h->count()));
         out += metric + "_count{node=\"" + esc + "\"}" + buf;
+        // Exemplar comments: the two highest populated buckets link the
+        // tail of this series to retained traces. The exposition format
+        // has no native exemplars for summaries, so these ride as
+        // structured comments a scraper (and our promlint) can parse.
+        const auto& exemplars = h->exemplars();
+        int emitted = 0;
+        for (auto it = exemplars.rbegin();
+             it != exemplars.rend() && emitted < 2; ++it, ++emitted) {
+          std::snprintf(
+              buf, sizeof buf,
+              " bucket_lo=%llu value=%llu trace_id=%llu\n",
+              static_cast<unsigned long long>(1ULL << it->first),
+              static_cast<unsigned long long>(it->second.value),
+              static_cast<unsigned long long>(it->second.trace));
+          out += "# exemplar " + metric + "{node=\"" + esc + "\"}" + buf;
+        }
       }
     }
     return out;

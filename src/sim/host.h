@@ -96,13 +96,15 @@ class Host {
   /// Entry point used by Network: queue the message behind the CPU.
   void deliver(const Message& msg) {
     if (!alive_) return;
-    const SimTime start = std::max(sim().now(), cpu_free_);
+    const SimTime arrival = sim().now();
+    const SimTime start = std::max(arrival, cpu_free_);
     const SimDuration cost = service_cost(msg);
     cpu_free_ = start + cost;
     Message copy = msg;
     sim().schedule(cpu_free_ - sim().now(),
-                   [this, live = live_, m = std::move(copy)]() mutable {
-                     if (*live && alive_) dispatch(m);
+                   [this, live = live_, m = std::move(copy), arrival, start,
+                    cost]() mutable {
+                     if (*live && alive_) dispatch(m, arrival, start, cost);
                    });
   }
 
@@ -117,8 +119,8 @@ class Host {
                          SimDuration timeout, RpcCallback cb) {
     const std::uint64_t rpc_id = next_rpc_id_++;
     const TraceContext caller_ctx = trace_ctx_;
-    const SpanId rpc_span =
-        tracer().begin(caller_ctx, rpc_span_name(type), id_, now());
+    const SpanId rpc_span = tracer().begin(caller_ctx, rpc_span_name(type),
+                                           id_, now(), rpc_span_stage(type));
     auto timer = sim().schedule(timeout, [this, live = live_, rpc_id]() {
       if (!*live) return;
       auto it = pending_.find(rpc_id);
@@ -164,13 +166,15 @@ class Host {
   void set_trace_context(TraceContext ctx) { trace_ctx_ = ctx; }
 
   /// Opens a fresh trace rooted at this host and makes it current.
-  TraceContext begin_trace(const std::string& name) {
-    trace_ctx_ = tracer().start_trace(name, id_, now());
+  TraceContext begin_trace(const std::string& name,
+                           TraceStage stage = TraceStage::kUnknown) {
+    trace_ctx_ = tracer().start_trace(name, id_, now(), stage);
     return trace_ctx_;
   }
   /// Child span of the current context. Does not change the context.
-  SpanId begin_span(const std::string& name) {
-    return tracer().begin(trace_ctx_, name, id_, now());
+  SpanId begin_span(const std::string& name,
+                    TraceStage stage = TraceStage::kUnknown) {
+    return tracer().begin(trace_ctx_, name, id_, now(), stage);
   }
   /// Makes `span` the current context; returns the previous context so
   /// the caller can restore it after issuing nested work.
@@ -184,8 +188,9 @@ class Host {
   }
   /// Zero-duration annotation under the current context.
   void instant_span(const std::string& name,
-                    const std::string& status = "ok") {
-    tracer().instant(trace_ctx_, name, id_, now(), status);
+                    const std::string& status = "ok",
+                    TraceStage stage = TraceStage::kUnknown) {
+    tracer().instant(trace_ctx_, name, id_, now(), status, stage);
   }
 
  protected:
@@ -200,6 +205,14 @@ class Host {
   /// that know their protocol override this with readable names.
   [[nodiscard]] virtual std::string rpc_span_name(MessageType type) const {
     return "rpc.t" + std::to_string(type);
+  }
+
+  /// Attribution stage for an outgoing RPC span. The base host only knows
+  /// "it went over the wire"; protocol subclasses override this alongside
+  /// rpc_span_name (replica fan-out → service, ZooKeeper → zk, ...).
+  [[nodiscard]] virtual TraceStage rpc_span_stage(MessageType type) const {
+    (void)type;
+    return TraceStage::kNet;
   }
 
   /// CPU cost model; override for per-type costs.
@@ -223,20 +236,45 @@ class Host {
     SpanId rpc_span = 0;
   };
 
-  void dispatch(const Message& msg) {
+  void dispatch(const Message& msg, SimTime arrival, SimTime start,
+                SimDuration cost) {
     if (msg.is_response) {
       auto it = pending_.find(msg.rpc_id);
       if (it == pending_.end()) return;  // response raced its own timeout
       Pending pending = std::move(it->second);
       pending.timeout.cancel();
       pending_.erase(it);
+      // The response's queue/service time belongs under the RPC span it
+      // answers — its stamped span id points at the *caller side* context
+      // whose span may already be closed.
+      record_cpu_spans(TraceContext{msg.trace_id, pending.rpc_span}, arrival,
+                       start, cost);
       tracer().end(pending.rpc_span, now(), "ok");
       trace_ctx_ = pending.ctx;
       pending.callback(Status::Ok(), msg.payload);
       return;
     }
+    record_cpu_spans(TraceContext{msg.trace_id, msg.span_id}, arrival, start,
+                     cost);
     trace_ctx_ = TraceContext{msg.trace_id, msg.span_id};
     on_message(msg);
+  }
+
+  /// Records the CPU queue wait and service time of one handled message
+  /// as closed child spans. Emitted at dispatch time so a host that
+  /// crashes with messages queued never reports phantom CPU work.
+  void record_cpu_spans(const TraceContext& parent, SimTime arrival,
+                        SimTime start, SimDuration cost) {
+    if (!parent.active() || parent.span_id == 0) return;
+    Tracer& t = tracer();
+    if (start > arrival) {
+      const SpanId queue =
+          t.begin(parent, "cpu.queue", id_, arrival, TraceStage::kQueue);
+      t.end(queue, start, "ok");
+    }
+    const SpanId svc =
+        t.begin(parent, "cpu.service", id_, start, TraceStage::kService);
+    t.end(svc, start + cost, "ok");
   }
 
   Network& net_;

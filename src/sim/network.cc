@@ -32,7 +32,7 @@ void Network::drop(const Message& msg, const char* why) {
   // A traced message that vanishes leaves a zero-duration span on the
   // receiver's side of the tree — the trace explains the later timeout.
   sim_.tracer().instant(TraceContext{msg.trace_id, msg.span_id}, "net.drop",
-                        msg.to, sim_.now(), why);
+                        msg.to, sim_.now(), why, TraceStage::kNet);
 }
 
 void Network::send(Message msg) {

@@ -32,7 +32,8 @@ void ZkClient::submit(ClientRequest req, int attempt,
   TraceContext op_ctx_restore = host_.trace_context();
   bool restore = false;
   if (attempt == 0) {
-    if (const SpanId span = host_.begin_span(zk_op_span_name(req.op))) {
+    if (const SpanId span =
+            host_.begin_span(zk_op_span_name(req.op), TraceStage::kZk)) {
       op_ctx_restore = host_.enter_span(span);
       restore = true;
       done = [this, span, inner = std::move(done)](

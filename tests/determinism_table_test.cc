@@ -85,6 +85,8 @@ struct ObservabilityDump {
   std::string traces;
   std::string timeseries;
   std::string dashboard;
+  std::string tail_report;
+  std::string attribution;
 };
 
 ObservabilityDump run_traced(std::uint64_t seed) {
@@ -108,8 +110,9 @@ ObservabilityDump run_traced(std::uint64_t seed) {
   }
   cluster.run_for(sim_sec(1));
   ClusterInspector inspector(cluster);
-  return {inspector.metrics_text(), inspector.trace_json(),
-          inspector.timeseries_csv(), inspector.dashboard()};
+  return {inspector.metrics_text(),    inspector.trace_json(),
+          inspector.timeseries_csv(),  inspector.dashboard(),
+          inspector.tail_report(),     inspector.attribution_csv()};
 }
 
 TEST(Determinism, ObservabilityDumpsAreByteIdenticalAcrossSeedSweep) {
@@ -122,11 +125,19 @@ TEST(Determinism, ObservabilityDumpsAreByteIdenticalAcrossSeedSweep) {
         << "time series diverged for seed " << seed;
     EXPECT_EQ(a.dashboard, b.dashboard)
         << "dashboard diverged for seed " << seed;
+    EXPECT_EQ(a.tail_report, b.tail_report)
+        << "tail report diverged for seed " << seed;
+    EXPECT_EQ(a.attribution, b.attribution)
+        << "attribution CSV diverged for seed " << seed;
     // The dumps are non-trivial: real counters, spans, samples, health.
     EXPECT_NE(a.metrics.find("sedna_client_writes"), std::string::npos);
     EXPECT_NE(a.traces.find("client.write_latest"), std::string::npos);
     EXPECT_NE(a.timeseries.find("time_us,nodes_down"), std::string::npos);
     EXPECT_NE(a.dashboard.find("health:"), std::string::npos);
+    EXPECT_NE(a.tail_report.find("tail traces by operation"),
+              std::string::npos);
+    EXPECT_NE(a.attribution.find("trace,op,start_us,total_us"),
+              std::string::npos);
   }
 }
 
@@ -154,6 +165,9 @@ ObservabilityDump run_rebalanced(std::uint64_t seed) {
   SednaCluster cluster(cfg);
   EXPECT_TRUE(cluster.boot().ok());
   cluster.enable_monitor();
+  // Trace the control loop too: migration span trees and their stage
+  // attribution are part of the deterministic surface.
+  cluster.sim().tracer().set_enabled(true);
   auto& client = cluster.make_client();
   for (int round = 0; round < 8; ++round) {
     for (int i = 0; i < 60; ++i) {
@@ -164,8 +178,9 @@ ObservabilityDump run_rebalanced(std::uint64_t seed) {
   }
   cluster.run_for(sim_sec(2));
   ClusterInspector inspector(cluster);
-  return {inspector.metrics_text(), inspector.trace_json(),
-          inspector.timeseries_csv(), inspector.dashboard()};
+  return {inspector.metrics_text(),    inspector.trace_json(),
+          inspector.timeseries_csv(),  inspector.dashboard(),
+          inspector.tail_report(),     inspector.attribution_csv()};
 }
 
 TEST(Determinism, RebalancerRunsAreByteIdenticalAcrossSeedSweep) {
@@ -178,6 +193,10 @@ TEST(Determinism, RebalancerRunsAreByteIdenticalAcrossSeedSweep) {
         << "time series diverged for seed " << seed;
     EXPECT_EQ(a.dashboard, b.dashboard)
         << "dashboard diverged for seed " << seed;
+    EXPECT_EQ(a.tail_report, b.tail_report)
+        << "tail report diverged for seed " << seed;
+    EXPECT_EQ(a.attribution, b.attribution)
+        << "attribution CSV diverged for seed " << seed;
     // The run exercised the rebalancer for real: migrations completed and
     // the monitor recorded them in its (order-stable) CSV columns.
     EXPECT_NE(a.metrics.find("sedna_rebalance_migrations_completed"),

@@ -1,0 +1,234 @@
+// promlint: a Prometheus text-exposition-format linter for the CI gate.
+//
+// Validates the .prom files the failure drill and the inspector emit:
+//
+//   * every line is a `# TYPE` declaration, a `# exemplar` comment
+//     (our structured extension linking tail buckets to trace ids), or
+//     a sample `name{label="value",...} <number>`;
+//   * metric and label names match the Prometheus charsets;
+//   * a family's `# TYPE` appears exactly once and before its samples;
+//   * sample values parse as finite numbers;
+//   * exemplar comments reference a declared family and carry the full
+//     `bucket_lo=<u64> value=<u64> trace_id=<u64>` triple.
+//
+// Usage: promlint <file.prom> [more.prom ...]; exit 0 iff all clean.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+int errors = 0;
+
+void fail(const std::string& file, int line, const std::string& msg) {
+  std::fprintf(stderr, "%s:%d: %s\n", file.c_str(), line, msg.c_str());
+  ++errors;
+}
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_' ||
+        s[0] == ':')) {
+    return false;
+  }
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& s) {
+  if (s.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_')) {
+    return false;
+  }
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_number(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  (void)v;
+  return end != nullptr && *end == '\0';
+}
+
+/// Parses `name{k="v",...}` (labels optional); returns false on
+/// malformed syntax, else fills `name` and validates label charsets.
+bool parse_series(const std::string& file, int lineno,
+                  const std::string& series, std::string* name) {
+  const std::size_t brace = series.find('{');
+  *name = series.substr(0, brace);
+  if (!valid_metric_name(*name)) {
+    fail(file, lineno, "bad metric name '" + *name + "'");
+    return false;
+  }
+  if (brace == std::string::npos) return true;
+  if (series.back() != '}') {
+    fail(file, lineno, "unterminated label set");
+    return false;
+  }
+  std::string labels = series.substr(brace + 1,
+                                     series.size() - brace - 2);
+  std::size_t pos = 0;
+  while (pos < labels.size()) {
+    const std::size_t eq = labels.find('=', pos);
+    if (eq == std::string::npos) {
+      fail(file, lineno, "label without '='");
+      return false;
+    }
+    const std::string lname = labels.substr(pos, eq - pos);
+    if (!valid_label_name(lname)) {
+      fail(file, lineno, "bad label name '" + lname + "'");
+      return false;
+    }
+    if (eq + 1 >= labels.size() || labels[eq + 1] != '"') {
+      fail(file, lineno, "label value must be quoted");
+      return false;
+    }
+    std::size_t end = eq + 2;
+    while (end < labels.size() &&
+           (labels[end] != '"' || labels[end - 1] == '\\')) {
+      ++end;
+    }
+    if (end >= labels.size()) {
+      fail(file, lineno, "unterminated label value");
+      return false;
+    }
+    pos = end + 1;
+    if (pos < labels.size()) {
+      if (labels[pos] != ',') {
+        fail(file, lineno, "expected ',' between labels");
+        return false;
+      }
+      ++pos;
+    }
+  }
+  return true;
+}
+
+/// The base family of a sample name: strips the summary/counter
+/// suffixes so `x_sum` / `x_count` match `# TYPE x summary`.
+std::string family_of(const std::string& name,
+                      const std::set<std::string>& declared) {
+  if (declared.count(name)) return name;
+  for (const char* suffix : {"_sum", "_count", "_bucket", "_total"}) {
+    const std::size_t n = std::strlen(suffix);
+    if (name.size() > n &&
+        name.compare(name.size() - n, n, suffix) == 0) {
+      const std::string base = name.substr(0, name.size() - n);
+      if (declared.count(base)) return base;
+    }
+  }
+  return name;
+}
+
+bool expect_kv(const std::string& token, const char* key) {
+  const std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0) return false;
+  const std::string value = token.substr(prefix.size());
+  if (value.empty()) return false;
+  for (char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+void lint(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", file.c_str());
+    ++errors;
+    return;
+  }
+  std::set<std::string> declared;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream ss(line.substr(7));
+      std::string name, type, extra;
+      ss >> name >> type;
+      if (!valid_metric_name(name)) {
+        fail(file, lineno, "bad metric name in TYPE: '" + name + "'");
+      }
+      if (type != "counter" && type != "gauge" && type != "summary" &&
+          type != "histogram" && type != "untyped") {
+        fail(file, lineno, "unknown metric type '" + type + "'");
+      }
+      if (ss >> extra) fail(file, lineno, "trailing junk after TYPE");
+      if (!declared.insert(name).second) {
+        fail(file, lineno, "duplicate TYPE for '" + name + "'");
+      }
+      continue;
+    }
+    if (line.rfind("# exemplar ", 0) == 0) {
+      std::istringstream ss(line.substr(11));
+      std::string series, b, v, t, extra;
+      ss >> series >> b >> v >> t;
+      std::string name;
+      if (!parse_series(file, lineno, series, &name)) continue;
+      if (!declared.count(family_of(name, declared))) {
+        fail(file, lineno,
+             "exemplar for undeclared family '" + name + "'");
+      }
+      if (!expect_kv(b, "bucket_lo") || !expect_kv(v, "value") ||
+          !expect_kv(t, "trace_id")) {
+        fail(file, lineno,
+             "exemplar needs 'bucket_lo=<u64> value=<u64> "
+             "trace_id=<u64>'");
+      }
+      if (ss >> extra) fail(file, lineno, "trailing junk after exemplar");
+      continue;
+    }
+    if (line[0] == '#') continue;  // free-form comment (e.g. HELP)
+    // Sample line: <series> <value>
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) {
+      fail(file, lineno, "sample line without value");
+      continue;
+    }
+    const std::string series = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    std::string name;
+    if (!parse_series(file, lineno, series, &name)) continue;
+    if (!declared.count(family_of(name, declared))) {
+      fail(file, lineno,
+           "sample before/without TYPE for family of '" + name + "'");
+    }
+    if (!parse_number(value)) {
+      fail(file, lineno, "unparseable sample value '" + value + "'");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: promlint <file.prom> [...]\n");
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) lint(argv[i]);
+  if (errors == 0) {
+    std::printf("promlint: %d file(s) clean\n", argc - 1);
+    return 0;
+  }
+  std::fprintf(stderr, "promlint: %d error(s)\n", errors);
+  return 1;
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # One-shot gate: builds the regular tree, runs the whole ctest suite, runs
 # the failure drill twice and diffs its monitor output (determinism gate:
-# the dashboard and time-series CSV must be byte-identical), then repeats
-# the test run under AddressSanitizer + UBSan via run_sanitized.sh.
+# the dashboard, time-series CSV, latency-attribution CSV and Prometheus
+# dump must be byte-identical), lints the Prometheus dump with promlint,
+# then repeats the test run under AddressSanitizer + UBSan via
+# run_sanitized.sh.
 # Usage: tests/run_all.sh [extra ctest args...]
 set -euo pipefail
 
@@ -29,7 +31,17 @@ diff "${drill_tmp}/1/stdout.txt" "${drill_tmp}/2/stdout.txt" \
 diff "${drill_tmp}/1/failure_drill_timeseries.csv" \
      "${drill_tmp}/2/failure_drill_timeseries.csv" \
   || { echo "failure_drill time series is not deterministic"; exit 1; }
+diff "${drill_tmp}/1/failure_drill_attribution.csv" \
+     "${drill_tmp}/2/failure_drill_attribution.csv" \
+  || { echo "failure_drill attribution CSV is not deterministic"; exit 1; }
+diff "${drill_tmp}/1/failure_drill_metrics.prom" \
+     "${drill_tmp}/2/failure_drill_metrics.prom" \
+  || { echo "failure_drill metrics dump is not deterministic"; exit 1; }
 echo "failure_drill determinism gate: OK"
+
+# Exposition-format gate: the Prometheus dump (TYPE declarations, label
+# syntax, exemplar comments) must pass the in-tree linter.
+"${build_dir}/tests/promlint" "${drill_tmp}/1/failure_drill_metrics.prom"
 
 # Same gate for the rebalancer ablation: two runs of the 64-node
 # migration scenario must agree byte for byte (the run itself already

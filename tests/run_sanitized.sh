@@ -21,3 +21,11 @@ reb_tmp="$(mktemp -d)"
 trap 'rm -rf "${reb_tmp}"' EXIT
 (cd "${reb_tmp}" && "${build_dir}/bench/hotkey_skew" rebalance)
 echo "sanitized rebalance ablation: OK"
+
+# One sanitized pass over the failure drill: tracing, tail retention,
+# critical-path attribution and the exemplar-linked histogram export all
+# run under ASan/UBSan, and its attribution report must still clear the
+# drill's own coverage/dominance gates (non-zero exit otherwise).
+drill_tmp="$(mktemp -d "${reb_tmp}/drill.XXXXXX")"
+(cd "${drill_tmp}" && "${build_dir}/examples/failure_drill" > /dev/null)
+echo "sanitized failure drill (attribution gates): OK"

@@ -1,0 +1,139 @@
+// Span-tree well-formedness property test (observability PR satellite):
+// drive a miniature failure drill — crash, degraded traffic, recovery,
+// hinted-handoff replay — with tracing on across five seeds, then assert
+// structural invariants over every retained span:
+//
+//   * after quiescence, every begun span has ended;
+//   * every non-root span's parent exists in the same trace and was
+//     allocated before it (parent id < child id);
+//   * no cycles (implied by the id ordering, checked explicitly by
+//     walking parents to the root);
+//   * a child never starts before its parent;
+//   * child intervals nest inside their parent's interval, EXCEPT spans
+//     that legitimately outlive their parent: RPC spans whose timeout
+//     fires after the caller settled at quorum, host cpu spans that
+//     finish processing a reply after the enclosing rpc span closed at
+//     delivery, and cause-stage spans (retry/repair/zk/migration/
+//     hint_replay) that track asynchronous follow-up work such as read
+//     repair finishing after the coordinator already answered;
+//   * exactly one root per trace.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/sedna_cluster.h"
+#include "common/critical_path.h"
+#include "common/trace.h"
+
+namespace sedna::cluster {
+namespace {
+
+/// Spans that may end after their parent: an RPC kept open until its
+/// timeout even though the caller settled, host cpu spans whose
+/// queue+service work completes after the span that stamped the message
+/// already closed (reply delivery closes the rpc span before the
+/// caller finishes processing the reply), or asynchronous cause-stage
+/// work (read repair, suspicion probes, hint replay) that a handler
+/// kicked off and did not wait for.
+bool may_outlive_parent(const Span& s) {
+  return s.name.rfind("rpc.", 0) == 0 || s.name.rfind("cpu.", 0) == 0 ||
+         inherits_to_children(s.stage);
+}
+
+void check_spans(const std::vector<Span>& spans, std::uint64_t seed) {
+  std::map<SpanId, const Span*> by_id;
+  std::map<TraceId, int> roots;
+  for (const Span& s : spans) by_id[s.id] = &s;
+
+  for (const Span& s : spans) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " span " +
+                 std::to_string(s.id) + " (" + s.name + ")");
+    // Quiesced: nothing is still open.
+    EXPECT_TRUE(s.finished());
+    EXPECT_LE(s.start_us, s.end_us);
+
+    if (s.parent == 0) {
+      ++roots[s.trace_id];
+      continue;
+    }
+    const auto it = by_id.find(s.parent);
+    ASSERT_NE(it, by_id.end()) << "dangling parent " << s.parent;
+    const Span& p = *it->second;
+    EXPECT_EQ(p.trace_id, s.trace_id) << "parent in a different trace";
+    EXPECT_LT(p.id, s.id) << "child allocated before its parent";
+    EXPECT_GE(s.start_us, p.start_us) << "child starts before parent";
+    if (!may_outlive_parent(s)) {
+      EXPECT_LE(s.end_us, p.end_us)
+          << "span escapes parent '" << p.name << "' interval ["
+          << p.start_us << "," << p.end_us << "]";
+    }
+
+    // Walk to the root: terminates (no cycle) and stays in-trace.
+    const Span* cur = &s;
+    int hops = 0;
+    while (cur->parent != 0) {
+      const auto pit = by_id.find(cur->parent);
+      ASSERT_NE(pit, by_id.end());
+      cur = pit->second;
+      ASSERT_LT(++hops, 64) << "parent chain too deep or cyclic";
+    }
+    EXPECT_EQ(cur->trace_id, s.trace_id);
+  }
+  for (const auto& [trace, count] : roots) {
+    EXPECT_EQ(count, 1) << "trace " << trace << " has " << count
+                        << " roots";
+  }
+}
+
+TEST(SpanWellFormedness, HoldsAcrossFailureDrillUnderFiveSeeds) {
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    SednaClusterConfig cfg;
+    cfg.zk_members = 3;
+    cfg.data_nodes = 6;
+    cfg.cluster.total_vnodes = 128;
+    cfg.seed = seed;
+    SednaCluster cluster(cfg);
+    ASSERT_TRUE(cluster.boot().ok());
+    auto& client = cluster.make_client();
+
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(
+          cluster.write_latest(client, "k" + std::to_string(i), "v").ok());
+    }
+
+    Tracer& tracer = cluster.sim().tracer();
+    tracer.set_enabled(true);
+
+    // Kill window: degraded writes queue hints, degraded reads burn the
+    // client timeout against the dead coordinator and retry.
+    cluster.crash_node(2);
+    for (int i = 0; i < 20; ++i) {
+      cluster.write_latest(client, "hint-" + std::to_string(i), "v");
+    }
+    for (int i = 0; i < 40; ++i) {
+      cluster.read_latest(client, "k" + std::to_string(i));
+    }
+    // Session expiry, read-triggered recovery, read repair.
+    cluster.run_for(sim_sec(4));
+    for (int i = 0; i < 40; ++i) {
+      cluster.read_latest(client, "k" + std::to_string(i));
+    }
+    // Restart: hinted handoff replays the kill-window backlog.
+    cluster.restart_node(2);
+    cluster.run_for(sim_sec(6));
+
+    // Stop opening spans, then drain everything in flight (the longest
+    // straggler is an RPC timeout) so "every begun span ends" can hold.
+    tracer.set_enabled(false);
+    cluster.run_for(sim_sec(10));
+
+    check_spans(tracer.spans(), seed);
+    EXPECT_GT(tracer.retained_traces(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sedna::cluster
