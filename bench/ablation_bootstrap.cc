@@ -7,6 +7,7 @@
 // the steady-state cost those vnodes buy (journal syncs stay O(changes)).
 #include <cstdio>
 
+#include "common/outdir.h"
 #include "cluster/sedna_cluster.h"
 
 using namespace sedna;
@@ -18,7 +19,7 @@ int main() {
   std::printf("%-10s %16s %18s %14s\n", "vnodes", "boot_ms(sim)",
               "zk_commits", "boot_msgs");
 
-  std::FILE* csv = std::fopen("ablation_bootstrap.csv", "w");
+  std::FILE* csv = std::fopen(sedna::out_path("ablation_bootstrap.csv").c_str(), "w");
   if (csv) std::fprintf(csv, "vnodes,boot_ms,zk_commits,messages\n");
 
   double prev_boot = 0;

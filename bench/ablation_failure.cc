@@ -31,7 +31,7 @@ namespace {
 bool run_repair_ablation() {
   std::printf("\nAblation: repair subsystem (hints + anti-entropy) after a "
               "healed partition, zero reads\n");
-  std::FILE* csv = std::fopen("ablation_repair.csv", "w");
+  std::FILE* csv = std::fopen(sedna::out_path("ablation_repair.csv").c_str(), "w");
   if (csv) std::fprintf(csv, "mode,sample,t_ms,under_replicated\n");
 
   bool on_converged = false;
@@ -159,9 +159,9 @@ int main() {
         if (rec.op.rfind("client.", 0) != 0) return;
         agg.observe(id, rec);
       });
-  std::FILE* csv = std::fopen("ablation_failure.csv", "w");
+  std::FILE* csv = std::fopen(sedna::out_path("ablation_failure.csv").c_str(), "w");
   if (csv) std::fprintf(csv, "pass,t_ms,failures,ok\n");
-  std::FILE* att = std::fopen("ablation_failure_attribution.csv", "w");
+  std::FILE* att = std::fopen(sedna::out_path("ablation_failure_attribution.csv").c_str(), "w");
   if (att) {
     std::fprintf(att, "pass,t_ms,ops,p99_total_us");
     for (std::size_t s = 1; s < kTraceStageCount; ++s) {

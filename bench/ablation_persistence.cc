@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <string>
 
+#include "common/outdir.h"
 #include "store/local_store.h"
 #include "wal/persistence.h"
 #include "workload/kv_workload.h"
@@ -96,7 +97,7 @@ int main() {
   const ModeResult walsync =
       run_mode(wal::PersistMode::kWal, true, kWrites, 0);
 
-  std::FILE* csv = std::fopen("ablation_persistence.csv", "w");
+  std::FILE* csv = std::fopen(sedna::out_path("ablation_persistence.csv").c_str(), "w");
   if (csv) std::fprintf(csv, "strategy,ns_per_write,recovered\n");
   auto row = [&](const char* name, const ModeResult& r) {
     std::printf("%-28s %14.0f %18llu\n", name, r.ns_per_write,

@@ -31,7 +31,7 @@ int main() {
       {5, 3, 3, 0, 0},  // wider replication
   };
 
-  std::FILE* csv = std::fopen("ablation_quorum.csv", "w");
+  std::FILE* csv = std::fopen(sedna::out_path("ablation_quorum.csv").c_str(), "w");
   if (csv) std::fprintf(csv, "n,r,w,write_ms_per_kop,read_ms_per_kop\n");
 
   for (auto& p : points) {

@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "common/outdir.h"
 #include "ring/rebalancer.h"
 #include "ring/vnode_table.h"
 #include "workload/kv_workload.h"
@@ -51,7 +52,7 @@ int main() {
   std::printf("%-8s %-8s %12s %14s %14s\n", "nodes", "vnodes",
               "key_cv", "join_moved%", "leave_moved%");
 
-  std::FILE* csv = std::fopen("ablation_ring.csv", "w");
+  std::FILE* csv = std::fopen(sedna::out_path("ablation_ring.csv").c_str(), "w");
   if (csv) std::fprintf(csv, "nodes,vnodes,key_cv,join_moved,leave_moved\n");
 
   bool sane = true;

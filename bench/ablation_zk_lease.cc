@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/outdir.h"
 #include "sim/host.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
@@ -219,7 +220,7 @@ int main() {
   std::printf("%-22s %14s %16s\n", "strategy", "zk_messages",
               "staleness_ms");
 
-  std::FILE* csv = std::fopen("ablation_zk_lease.csv", "w");
+  std::FILE* csv = std::fopen(sedna::out_path("ablation_zk_lease.csv").c_str(), "w");
   if (csv) std::fprintf(csv, "strategy,write_period_ms,messages,staleness_ms\n");
 
   bool ok = true;

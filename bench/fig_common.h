@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/outdir.h"
 #include "baseline/memcache.h"
 #include "cluster/sedna_cluster.h"
 #include "workload/closed_loop.h"
@@ -229,8 +230,9 @@ inline SweepResult run_memcached_sweep(std::uint32_t clients,
   return result;
 }
 
-/// Prints a paper-style table and writes a CSV next to the binary.
-inline void emit_figure(const std::string& title, const std::string& csv_path,
+/// Prints a paper-style table and writes a CSV under out_dir()
+/// ($SEDNA_OUT_DIR, default ./out). `csv_path` is the bare file name.
+inline void emit_figure(const std::string& title, const std::string& csv_name,
                         const std::vector<std::uint64_t>& checkpoints,
                         const std::vector<std::pair<std::string,
                                                     const std::map<
@@ -253,6 +255,7 @@ inline void emit_figure(const std::string& title, const std::string& csv_path,
     std::printf("\n");
   }
 
+  const std::string csv_path = out_path(csv_name);
   if (std::FILE* f = std::fopen(csv_path.c_str(), "w")) {
     std::fprintf(f, "ops");
     for (const auto& [name, data] : series) std::fprintf(f, ",%s", name.c_str());

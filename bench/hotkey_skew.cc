@@ -310,7 +310,7 @@ int run_rebalance_mode() {
   const AblationResult off = run_rebalance_ablation(false);
   const AblationResult on = run_rebalance_ablation(true);
 
-  std::FILE* csv = std::fopen("ablation_rebalance.csv", "w");
+  std::FILE* csv = std::fopen(sedna::out_path("ablation_rebalance.csv").c_str(), "w");
   if (csv) {
     std::fprintf(csv,
                  "rebalancer,node_read_cv,p99_read_us,migrations,rounds\n");
@@ -358,7 +358,7 @@ int main(int argc, char** argv) {
               "hottest_node_pct", "hottest_vnode_pct", "hot_prec",
               "hot_rec");
 
-  std::FILE* csv = std::fopen("hotkey_skew.csv", "w");
+  std::FILE* csv = std::fopen(sedna::out_path("hotkey_skew.csv").c_str(), "w");
   if (csv) {
     std::fprintf(csv, "workload,node_cv,node_share,vnode_share,"
                       "hot_precision,hot_recall\n");
@@ -370,7 +370,7 @@ int main(int argc, char** argv) {
 
   // Per-stage p99 attribution of the traced read phases: under pure
   // skew (no failures) the tail must be service/queue time, never retry.
-  std::FILE* att = std::fopen("hotkey_skew_attribution.csv", "w");
+  std::FILE* att = std::fopen(sedna::out_path("hotkey_skew_attribution.csv").c_str(), "w");
   if (att) {
     std::fprintf(att, "workload,ops,p99_total_us");
     for (std::size_t s = 1; s < kTraceStageCount; ++s) {

@@ -93,7 +93,7 @@ int main() {
   std::printf("%-8s %14s %14s %20s\n", "nodes", "write_kops", "read_kops",
               "zk_commits_in_run");
 
-  std::FILE* csv = std::fopen("scalability_nodes.csv", "w");
+  std::FILE* csv = std::fopen(sedna::out_path("scalability_nodes.csv").c_str(), "w");
   if (csv) std::fprintf(csv, "nodes,write_kops,read_kops,zk_commits\n");
 
   constexpr std::uint64_t kOpsPerClient = 3000;

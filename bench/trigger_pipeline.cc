@@ -86,7 +86,7 @@ int main() {
               "(2 s window):\n");
   std::printf("%-18s %16s %12s\n", "interval_ms", "activations",
               "writes/s");
-  std::FILE* csv = std::fopen("trigger_pipeline.csv", "w");
+  std::FILE* csv = std::fopen(sedna::out_path("trigger_pipeline.csv").c_str(), "w");
   if (csv) std::fprintf(csv, "interval_ms,activations,cluster_writes\n");
 
   std::map<std::uint64_t, std::uint64_t> activations_by_interval;

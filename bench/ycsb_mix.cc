@@ -83,7 +83,7 @@ int main() {
               "2000 records, 5000 ops)\n\n");
   std::printf("%-18s %14s %12s\n", "mix", "ops/s", "us/op");
 
-  std::FILE* csv = std::fopen("ycsb_mix.csv", "w");
+  std::FILE* csv = std::fopen(sedna::out_path("ycsb_mix.csv").c_str(), "w");
   if (csv) std::fprintf(csv, "mix,ops_per_sec,us_per_op\n");
 
   constexpr std::uint64_t kOps = 5000;

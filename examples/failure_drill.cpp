@@ -28,6 +28,7 @@
 #include "cluster/monitor.h"
 #include "cluster/sedna_cluster.h"
 #include "common/critical_path.h"
+#include "common/outdir.h"
 #include "common/trace.h"
 #include "workload/kv_workload.h"
 
@@ -56,6 +57,11 @@ int main() {
   cfg.zk_members = 3;
   cfg.data_nodes = 6;
   cfg.cluster.total_vnodes = 256;
+  // The drill's recovery story is hinted handoff + read repair, and t8
+  // hollows a replica via crash+restart to trace that repair; restart
+  // hydration would refill it first, so keep it off here (the scenario
+  // suite's rolling restart covers hydration).
+  cfg.node_template.restart_hydration = false;
   SednaCluster cluster(cfg);
   if (!cluster.boot().ok()) {
     std::fprintf(stderr, "boot failed\n");
@@ -303,7 +309,7 @@ int main() {
   // ---- monitor verdict: kill → detect → repair → resolve ------------------
   std::printf("\n--- monitor dashboard ---\n%s", monitor.dashboard().c_str());
   {
-    std::FILE* csv = std::fopen("failure_drill_timeseries.csv", "w");
+    std::FILE* csv = std::fopen(sedna::out_path("failure_drill_timeseries.csv").c_str(), "w");
     if (csv != nullptr) {
       std::fputs(monitor.timeseries_csv().c_str(), csv);
       std::fclose(csv);
@@ -311,14 +317,14 @@ int main() {
                   "(%zu samples)\n",
                   monitor.recorder().size());
     }
-    csv = std::fopen("failure_drill_attribution.csv", "w");
+    csv = std::fopen(sedna::out_path("failure_drill_attribution.csv").c_str(), "w");
     if (csv != nullptr) {
       std::fputs(attribution_csv.c_str(), csv);
       std::fclose(csv);
       std::printf("per-trace attribution written to "
                   "failure_drill_attribution.csv\n");
     }
-    std::FILE* prom = std::fopen("failure_drill_metrics.prom", "w");
+    std::FILE* prom = std::fopen(sedna::out_path("failure_drill_metrics.prom").c_str(), "w");
     if (prom != nullptr) {
       std::fputs(inspector.metrics_text().c_str(), prom);
       std::fclose(prom);

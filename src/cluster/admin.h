@@ -41,6 +41,10 @@ struct NodeReport {
   /// Divergent keys this node pushed to or pulled from peers during
   /// anti-entropy reconciliation.
   std::uint64_t keys_repaired = 0;
+  /// Messages waiting in the host's ingress queue right now.
+  std::uint64_t queue_depth = 0;
+  /// Requests shed so far (admission queue_full + expired deadlines).
+  std::uint64_t sheds = 0;
 };
 
 struct HotVnode {
@@ -104,6 +108,8 @@ class ClusterInspector {
       row.keys_repaired =
           node.metrics().counter("antientropy.keys_pushed").value() +
           node.metrics().counter("antientropy.keys_pulled").value();
+      row.queue_depth = node.queue_depth();
+      row.sheds = node.shed_queue_full() + node.shed_deadline();
       report.total_items += row.items;
       report.total_bytes += row.bytes;
       if (row.alive) {
@@ -163,13 +169,15 @@ class ClusterInspector {
                  static_cast<unsigned long long>(r.total_bytes),
                  r.vnode_imbalance, r.capacity_imbalance);
     std::fprintf(out,
-                 "%-6s %-6s %-6s %7s %9s %12s %9s %9s %6s %7s %6s %6s\n",
+                 "%-6s %-6s %-6s %7s %9s %12s %9s %9s %6s %7s %6s %6s "
+                 "%6s %6s\n",
                  "node", "alive", "ready", "vnodes", "items", "bytes",
-                 "reads", "writes", "recov", "repairs", "hints", "aesync");
+                 "reads", "writes", "recov", "repairs", "hints", "aesync",
+                 "qdepth", "sheds");
     for (const auto& n : r.nodes) {
       std::fprintf(out,
                    "%-6u %-6s %-6s %7u %9llu %12llu %9llu %9llu %6llu "
-                   "%7llu %6llu %6llu\n",
+                   "%7llu %6llu %6llu %6llu %6llu\n",
                    n.id, n.alive ? "yes" : "NO", n.ready ? "yes" : "NO",
                    n.vnodes, static_cast<unsigned long long>(n.items),
                    static_cast<unsigned long long>(n.bytes),
@@ -178,7 +186,9 @@ class ClusterInspector {
                    static_cast<unsigned long long>(n.recoveries),
                    static_cast<unsigned long long>(n.read_repairs),
                    static_cast<unsigned long long>(n.hints_pending),
-                   static_cast<unsigned long long>(n.keys_repaired));
+                   static_cast<unsigned long long>(n.keys_repaired),
+                   static_cast<unsigned long long>(n.queue_depth),
+                   static_cast<unsigned long long>(n.sheds));
     }
     if (!r.hottest.empty()) {
       std::fprintf(out, "hottest vnodes:");

@@ -74,6 +74,14 @@ class ClusterMonitor {
       add_rule({"stuck-migration", "migrations_inflight",
                 AlertOp::kGreaterThan, 0.0, config_.stuck_migration_samples,
                 config_.alert_clear_samples, "warning"});
+      // Overload rules evaluate per-window deltas, so both fire while the
+      // cluster is actively shedding/refusing and resolve when it stops.
+      add_rule({"overload-shedding", "shed_rate", AlertOp::kGreaterThan, 0.0,
+                config_.alert_for_samples, config_.alert_clear_samples,
+                "warning"});
+      add_rule({"retry-budget-exhausted", "budget_exhausted_rate",
+                AlertOp::kGreaterThan, 0.0, config_.alert_for_samples,
+                config_.alert_clear_samples, "critical"});
     }
     alerts_.set_transition_hook(
         [this](const AlertRule& rule, const AlertEvent& e) {
@@ -291,6 +299,42 @@ class ClusterMonitor {
     recorder_.add_series("migration_bytes", [this] {
       return counter_sum("rebalance.bytes_moved");
     });
+    // Overload telemetry (appended after the migration block for the same
+    // CSV-column-order reason).
+    recorder_.add_series("queue_depth", [this] {
+      double n = 0;
+      for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+        auto& node = cluster_.node(i);
+        if (node.alive()) n += static_cast<double>(node.queue_depth());
+      }
+      return n;
+    });
+    // Sheds per sample window (delta of the monotone per-host counters),
+    // so the alert below resolves once shedding stops.
+    recorder_.add_series("shed_rate", [this, prev = 0.0]() mutable {
+      double total = 0;
+      for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+        auto& node = cluster_.node(i);
+        total += static_cast<double>(node.shed_queue_full()) +
+                 static_cast<double>(node.shed_deadline());
+      }
+      const double delta = total - prev;
+      prev = total;
+      return delta;
+    });
+    recorder_.add_series("stale_reads", [this] {
+      return client_counter_sum("client.stale_reads");
+    });
+    // Client retries refused per sample window because the token bucket
+    // ran dry — sustained non-zero means the cluster is past saturation.
+    recorder_.add_series("budget_exhausted_rate",
+                         [this, prev = 0.0]() mutable {
+                           const double total =
+                               client_counter_sum("node.shed.retry_budget");
+                           const double delta = total - prev;
+                           prev = total;
+                           return delta;
+                         });
   }
 
   enum VnodeField { kFieldReads, kFieldWrites, kFieldMisses };
@@ -313,6 +357,18 @@ class ClusterMonitor {
     double n = 0;
     for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
       const auto& counters = cluster_.node(i).metrics().counters();
+      const auto it = counters.find(name);
+      if (it != counters.end()) n += static_cast<double>(it->second.value());
+    }
+    return n;
+  }
+
+  /// Like counter_sum but over the harness-owned clients (retry budgets
+  /// and staleness are client-side state).
+  [[nodiscard]] double client_counter_sum(const std::string& name) const {
+    double n = 0;
+    for (std::size_t i = 0; i < cluster_.client_count(); ++i) {
+      const auto& counters = cluster_.client(i).metrics().counters();
       const auto it = counters.find(name);
       if (it != counters.end()) n += static_cast<double>(it->second.value());
     }

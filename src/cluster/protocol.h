@@ -118,6 +118,12 @@ struct ReadReply {
   bool has_latest = false;
   store::VersionedValue latest;
   std::vector<store::SourceValue> value_list;
+  /// Degraded-mode marker: the coordinator could not assemble a full read
+  /// quorum (overload shedding or partition) and served this value from
+  /// fewer than R agreeing replicas. The value is the freshest available
+  /// but may miss a concurrent acked write (see PAPERS.md 2008.11900 on
+  /// the availability/staleness trade).
+  bool stale = false;
 
   [[nodiscard]] std::string encode() const {
     BinaryWriter w(latest.value.size() + 32);
@@ -132,6 +138,7 @@ struct ReadReply {
                    out.put_string(sv.value);
                    out.put_u64(sv.ts);
                  });
+    w.put_bool(stale);
     return std::move(w).take();
   }
 
@@ -151,6 +158,7 @@ struct ReadReply {
           sv.ts = in.get_u64();
           return sv;
         });
+    rep.stale = r.get_bool();
     if (r.failed()) return Status::Corruption("bad read reply");
     return rep;
   }

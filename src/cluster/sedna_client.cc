@@ -14,7 +14,28 @@ SednaClient::SednaClient(sim::Network& net, NodeId id,
             zc.ensemble = config_.zk_ensemble;
             return zc;
           }()),
-      metadata_(zk_, *this) {}
+      metadata_(zk_, *this) {
+  retry_tokens_ = config_.retry_budget_capacity;
+}
+
+bool SednaClient::spend_retry_token() {
+  if (config_.retry_budget_capacity <= 0) return true;  // budget disabled
+  if (retry_tokens_ < 1.0) {
+    // Exhausted: this retry would have exceeded the allowed fraction of
+    // fresh traffic. Counted under the shed family — it is load the
+    // budget refused to send.
+    metrics_.counter("node.shed.retry_budget").add(1);
+    return false;
+  }
+  retry_tokens_ -= 1.0;
+  return true;
+}
+
+void SednaClient::refill_retry_budget() {
+  if (config_.retry_budget_capacity <= 0) return;
+  retry_tokens_ = std::min(config_.retry_budget_capacity,
+                           retry_tokens_ + config_.retry_budget_refill);
+}
 
 Timestamp SednaClient::next_ts() {
   const auto seq = static_cast<std::uint16_t>(
@@ -103,10 +124,18 @@ NodeId SednaClient::coordinator_for(const std::string& key,
   return replicas[static_cast<std::size_t>(attempt) % replicas.size()];
 }
 
-void SednaClient::do_write(WriteRequest req, int attempt, WriteCallback cb) {
+void SednaClient::do_write(WriteRequest req, int attempt, SimTime deadline,
+                           WriteCallback cb) {
   const NodeId coordinator = coordinator_for(req.key, attempt);
   if (coordinator == kInvalidNode) {
     cb(Status::Unavailable("no replicas for key"));
+    return;
+  }
+  // The whole-op deadline may have lapsed during a backoff sleep; give up
+  // here rather than launch an attempt whose answer nobody wants.
+  if (deadline != 0 && now() >= deadline) {
+    metrics_.counter("client.write_failures").add(1);
+    cb(Status::Timeout("op deadline exceeded"));
     return;
   }
   // Attempt span: one per coordinator tried. Siblings under the op root,
@@ -119,20 +148,23 @@ void SednaClient::do_write(WriteRequest req, int attempt, WriteCallback cb) {
   std::string payload = req.encode();
   call_with_timeout(
       coordinator, kMsgClientWrite, std::move(payload),
-      config_.op_timeout_us,
-      [this, req = std::move(req), attempt, span, parent,
+      attempt_timeout(deadline),
+      [this, req = std::move(req), attempt, deadline, span, parent,
        cb = std::move(cb)](const Status& st,
                            const std::string& body) mutable {
          Status final = Status::Failure("write attempts exhausted");
          if (st.ok()) {
            auto rep = WriteReply::decode(body);
-           // kUnavailable (node not ready) and kFailure (quorum broken —
+           // kUnavailable (node not ready), kFailure (quorum broken —
            // often stale routing at the coordinator while recovery is in
-           // flight) are retryable: the timestamp is pinned at the first
-           // attempt, so a replayed write is idempotent under LWW.
+           // flight) and kOverloaded (explicit shed) are retryable: the
+           // timestamp is pinned at the first attempt, so a replayed
+           // write is idempotent under LWW.
            if (rep.ok() && rep->status != StatusCode::kUnavailable &&
-               rep->status != StatusCode::kFailure) {
+               rep->status != StatusCode::kFailure &&
+               rep->status != StatusCode::kOverloaded) {
              metrics_.counter("client.writes").add(1);
+             refill_retry_budget();
              end_span(span, std::string(to_string(rep->status)));
              cb(Status(rep->status));
              return;
@@ -145,6 +177,12 @@ void SednaClient::do_write(WriteRequest req, int attempt, WriteCallback cb) {
            cb(final);
            return;
          }
+         if (!spend_retry_token()) {
+           metrics_.counter("client.write_failures").add(1);
+           end_span(span, "overloaded");
+           cb(Status::Overloaded("retry budget exhausted"));
+           return;
+         }
          // Refresh routing state, wait out the jittered backoff, then
          // retry via the next replica.
          metrics_.counter("client.write_retries").add(1);
@@ -154,25 +192,32 @@ void SednaClient::do_write(WriteRequest req, int attempt, WriteCallback cb) {
          // is real client-visible latency — span it as retry time.
          const SpanId wait = tracer().begin(parent, "client.retry_wait", id(),
                                             now(), TraceStage::kRetry);
-         metadata_.sync_now([this, req = std::move(req), attempt, parent,
-                             backoff, wait, cb = std::move(cb)]() mutable {
+         metadata_.sync_now([this, req = std::move(req), attempt, deadline,
+                             parent, backoff, wait,
+                             cb = std::move(cb)]() mutable {
            sim().schedule(backoff, [this, req = std::move(req), attempt,
-                                    parent, wait,
+                                    deadline, parent, wait,
                                     cb = std::move(cb)]() mutable {
              tracer().end(wait, now());
              set_trace_context(parent);
-             do_write(std::move(req), attempt + 1, std::move(cb));
+             do_write(std::move(req), attempt + 1, deadline, std::move(cb));
            });
          });
-       });
+       },
+      deadline);
   set_trace_context(parent);
 }
 
-void SednaClient::do_read(ReadRequest req, int attempt,
+void SednaClient::do_read(ReadRequest req, int attempt, SimTime deadline,
                           std::function<void(const Result<ReadReply>&)> cb) {
   const NodeId coordinator = coordinator_for(req.key, attempt);
   if (coordinator == kInvalidNode) {
     cb(Status::Unavailable("no replicas for key"));
+    return;
+  }
+  if (deadline != 0 && now() >= deadline) {
+    metrics_.counter("client.read_failures").add(1);
+    cb(Status::Timeout("op deadline exceeded"));
     return;
   }
   const SpanId span = begin_span(
@@ -181,16 +226,19 @@ void SednaClient::do_read(ReadRequest req, int attempt,
   std::string payload = req.encode();
   call_with_timeout(
       coordinator, kMsgClientRead, std::move(payload),
-      config_.op_timeout_us,
-      [this, req = std::move(req), attempt, span, parent,
+      attempt_timeout(deadline),
+      [this, req = std::move(req), attempt, deadline, span, parent,
        cb = std::move(cb)](const Status& st,
                            const std::string& body) mutable {
          Status final = Status::Failure("read attempts exhausted");
          if (st.ok()) {
            auto rep = ReadReply::decode(body);
            if (rep.ok() && rep->status != StatusCode::kUnavailable &&
-               rep->status != StatusCode::kFailure) {
+               rep->status != StatusCode::kFailure &&
+               rep->status != StatusCode::kOverloaded) {
              metrics_.counter("client.reads").add(1);
+             if (rep->stale) metrics_.counter("client.stale_reads").add(1);
+             refill_retry_budget();
              end_span(span, std::string(to_string(rep->status)));
              cb(std::move(rep));
              return;
@@ -203,22 +251,30 @@ void SednaClient::do_read(ReadRequest req, int attempt,
            cb(final);
            return;
          }
+         if (!spend_retry_token()) {
+           metrics_.counter("client.read_failures").add(1);
+           end_span(span, "overloaded");
+           cb(Status::Overloaded("retry budget exhausted"));
+           return;
+         }
          metrics_.counter("client.read_retries").add(1);
          end_span(span, st.ok() ? "retry" : "timeout");
          const SimDuration backoff = retry_backoff(attempt + 1);
          const SpanId wait = tracer().begin(parent, "client.retry_wait", id(),
                                             now(), TraceStage::kRetry);
-         metadata_.sync_now([this, req = std::move(req), attempt, parent,
-                             backoff, wait, cb = std::move(cb)]() mutable {
+         metadata_.sync_now([this, req = std::move(req), attempt, deadline,
+                             parent, backoff, wait,
+                             cb = std::move(cb)]() mutable {
            sim().schedule(backoff, [this, req = std::move(req), attempt,
-                                    parent, wait,
+                                    deadline, parent, wait,
                                     cb = std::move(cb)]() mutable {
              tracer().end(wait, now());
              set_trace_context(parent);
-             do_read(std::move(req), attempt + 1, std::move(cb));
+             do_read(std::move(req), attempt + 1, deadline, std::move(cb));
            });
          });
-       });
+       },
+      deadline);
   set_trace_context(parent);
 }
 
@@ -230,7 +286,7 @@ void SednaClient::write_latest(const std::string& key,
   req.value = value;
   req.ts = next_ts();
   req.source = id();
-  do_write(std::move(req), 0,
+  do_write(std::move(req), 0, op_deadline(),
            traced_write("client.write_latest", std::move(cb)));
 }
 
@@ -244,7 +300,7 @@ void SednaClient::write_latest_ttl(const std::string& key,
   req.ts = next_ts();
   req.source = id();
   req.ttl = ttl_us;
-  do_write(std::move(req), 0,
+  do_write(std::move(req), 0, op_deadline(),
            traced_write("client.write_latest_ttl", std::move(cb)));
 }
 
@@ -299,7 +355,7 @@ void SednaClient::write_all(const std::string& key, const std::string& value,
   req.value = value;
   req.ts = next_ts();
   req.source = id();
-  do_write(std::move(req), 0,
+  do_write(std::move(req), 0, op_deadline(),
            traced_write("client.write_all", std::move(cb)));
 }
 
@@ -350,7 +406,7 @@ void SednaClient::read_latest(const std::string& key, ReadLatestCallback cb) {
   const TraceContext root =
       begin_trace("client.read_latest", TraceStage::kService);
   const SimTime started = now();
-  do_read(std::move(req), 0,
+  do_read(std::move(req), 0, op_deadline(),
           [this, root, started,
            cb = std::move(cb)](const Result<ReadReply>& rep) {
             metrics_.histogram("client.read_latency_us")
@@ -379,7 +435,7 @@ void SednaClient::read_all(const std::string& key, ReadAllCallback cb) {
   const TraceContext root =
       begin_trace("client.read_all", TraceStage::kService);
   const SimTime started = now();
-  do_read(std::move(req), 0,
+  do_read(std::move(req), 0, op_deadline(),
           [this, root, started,
            cb = std::move(cb)](const Result<ReadReply>& rep) {
             metrics_.histogram("client.read_latency_us")

@@ -13,6 +13,7 @@
 //   read_all(k)         → the full per-source value list
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <vector>
@@ -44,6 +45,23 @@ struct SednaClientConfig {
   SimDuration retry_backoff_initial_us = 2000;
   SimDuration retry_backoff_max_us = 100 * 1000;
   double retry_backoff_jitter = 0.25;
+  /// Whole-operation deadline (all attempts + backoffs). When set, every
+  /// request message is stamped with `now + op_deadline_us` so any host on
+  /// the path sheds the work once it cannot finish in time, each attempt's
+  /// RPC timeout is clamped to the remaining budget, and an op whose
+  /// deadline passes between attempts fails with kTimeout instead of
+  /// burning another attempt. 0 disables (legacy behavior).
+  SimDuration op_deadline_us = 0;
+  /// Client-side adaptive retry budget (token bucket): every retry —
+  /// whatever provoked it — spends one token; every successfully settled
+  /// operation refills `retry_budget_refill` tokens up to the capacity.
+  /// With refill r, steady-state retries cannot exceed an r fraction of
+  /// fresh traffic, which is what keeps a saturated cluster from being
+  /// driven metastable by its own retries. An op that wants to retry with
+  /// an empty bucket fails fast with kOverloaded. Capacity 0 disables
+  /// (legacy unbudgeted retries).
+  double retry_budget_capacity = 0.0;
+  double retry_budget_refill = 0.1;
   zk::ZkClientConfig zk_client;
   sim::HostConfig host;
 };
@@ -118,9 +136,23 @@ class SednaClient : public sim::Host {
   /// wrapper that closes it with the op's final status code.
   [[nodiscard]] WriteCallback traced_write(const char* op, WriteCallback cb);
 
-  void do_write(WriteRequest req, int attempt, WriteCallback cb);
-  void do_read(ReadRequest req, int attempt,
+  void do_write(WriteRequest req, int attempt, SimTime deadline,
+                WriteCallback cb);
+  void do_read(ReadRequest req, int attempt, SimTime deadline,
                std::function<void(const Result<ReadReply>&)> cb);
+
+  /// Absolute deadline for an op starting now (0 when deadlines are off).
+  [[nodiscard]] SimTime op_deadline() const {
+    return config_.op_deadline_us == 0 ? 0 : now() + config_.op_deadline_us;
+  }
+  /// Attempt-level RPC timeout clamped to the remaining deadline budget.
+  [[nodiscard]] SimDuration attempt_timeout(SimTime deadline) const {
+    if (deadline == 0 || deadline <= now()) return config_.op_timeout_us;
+    return std::min<SimDuration>(config_.op_timeout_us, deadline - now());
+  }
+  /// Charges one token for a retry; false = bucket empty, fail fast.
+  [[nodiscard]] bool spend_retry_token();
+  void refill_retry_budget();
 
   /// Coordinator choice for attempt k: the k-th replica of the key.
   [[nodiscard]] NodeId coordinator_for(const std::string& key,
@@ -136,6 +168,9 @@ class SednaClient : public sim::Host {
   MetricRegistry metrics_;
   bool ready_ = false;
   std::uint16_t write_seq_ = 0;
+  /// Retry-budget token bucket; starts full so a cold client can still
+  /// ride out an unlucky first op.
+  double retry_tokens_ = 0.0;
 };
 
 }  // namespace sedna::cluster

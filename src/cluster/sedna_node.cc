@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <deque>
 #include <map>
 #include <memory>
 
@@ -121,6 +122,15 @@ void SednaNode::start(ReadyCallback on_ready) {
                            set_trace_context({});
                            anti_entropy_tick();
                          });
+                   }
+                   if (config_.restart_hydration && needs_hydration_) {
+                     // A crash emptied the RAM store: pull our vnode
+                     // slices back from peer replicas before telling the
+                     // operator we are ready — the rolling-restart
+                     // contract is "ready means caught up".
+                     hydrate_after_restart(
+                         [on_ready] { on_ready(Status::Ok()); });
+                     return;
                    }
                    on_ready(Status::Ok());
                  });
@@ -388,6 +398,59 @@ TraceStage SednaNode::rpc_span_stage(sim::MessageType type) const {
   }
 }
 
+std::size_t SednaNode::message_priority(const sim::Message& msg) const {
+  if (msg.is_response) return 0;  // responses finish work already paid for
+  switch (msg.type) {
+    case kMsgClientRead:
+    case kMsgReplicaRead:
+      return 0;
+    case kMsgClientWrite:
+    case kMsgReplicaWrite:
+      return 1;
+    case kMsgScan:
+    case kMsgHintDeliver:
+    case kMsgVnodeDigest:
+      return 2;  // repair / anti-entropy
+    case kMsgFetchVnode:
+    case kMsgTakeoverVnode:
+    case kMsgPurgeVnode:
+    case kMsgMigrateVnode:
+      return 3;  // migration bulk loses its queue slots first
+    default:
+      return 0;  // ZK watch deliveries and control traffic stay first class
+  }
+}
+
+void SednaNode::on_shed(const sim::Message& msg, sim::ShedReason reason) {
+  metrics_
+      .counter(reason == sim::ShedReason::kQueueFull
+                   ? "node.shed.queue_full"
+                   : "node.shed.deadline_exceeded")
+      .add(1);
+  // The shed is part of the request's trace: a zero-width span whose
+  // "overloaded" status the critical-path analyzer charges to retry.
+  set_trace_context(TraceContext{msg.trace_id, msg.span_id});
+  instant_span("node.shed", "overloaded", TraceStage::kQueue);
+  switch (msg.type) {
+    case kMsgClientWrite:
+    case kMsgReplicaWrite: {
+      WriteReply rep;
+      rep.status = StatusCode::kOverloaded;
+      reply(msg, rep.encode());
+      break;
+    }
+    case kMsgClientRead:
+    case kMsgReplicaRead: {
+      ReadReply rep;
+      rep.status = StatusCode::kOverloaded;
+      reply(msg, rep.encode());
+      break;
+    }
+    default:
+      break;  // background daemons retry on their own cadence
+  }
+}
+
 void SednaNode::on_crash() {
   // Volatile state dies with the process; the LocalStore empties (it is
   // RAM) and in-flight coordination is dropped. Persistence files remain
@@ -415,6 +478,57 @@ void SednaNode::on_crash() {
   migrations_dispatched_ = 0;
   traffic_rebalancer_.reset();
   traffic_rebalance_timer_.cancel();
+  // The next start() finds an empty store where peers still hold data.
+  needs_hydration_ = true;
+}
+
+void SednaNode::hydrate_after_restart(std::function<void()> done) {
+  needs_hydration_ = false;
+  auto todo = std::make_shared<std::deque<VnodeId>>();
+  const std::uint32_t total = metadata_.table().total_vnodes();
+  for (VnodeId v = 0; v < total; ++v) {
+    const auto replicas = metadata_.table().replicas_for_vnode(v);
+    if (std::find(replicas.begin(), replicas.end(), id()) !=
+        replicas.end()) {
+      todo->push_back(v);
+    }
+  }
+  if (todo->empty()) {
+    done();
+    return;
+  }
+  const std::size_t fanout =
+      config_.restart_hydration_fanout > 0 ? config_.restart_hydration_fanout
+                                           : 1;
+  auto outstanding = std::make_shared<std::size_t>(0);
+  auto pump = std::make_shared<std::function<void()>>();
+  // The pump holds only a weak self-reference (a strong one would be a
+  // shared_ptr cycle and leak); each in-flight fetch callback pins it.
+  *pump = [this, todo, outstanding, fanout,
+           weak = std::weak_ptr<std::function<void()>>(pump),
+           done = std::move(done)] {
+    while (!todo->empty() && *outstanding < fanout) {
+      const VnodeId v = todo->front();
+      todo->pop_front();
+      ++*outstanding;
+      fetch_vnode_from(
+          v, metadata_.table().replicas_for_vnode(v), 0,
+          [this, todo, outstanding, pump = weak.lock(),
+           done](bool ok, std::uint64_t) {
+            --*outstanding;
+            metrics_
+                .counter(ok ? "restart.vnodes_hydrated"
+                            : "restart.hydration_failed")
+                .add(1);
+            if (todo->empty() && *outstanding == 0) {
+              done();
+              return;
+            }
+            (*pump)();
+          });
+    }
+  };
+  (*pump)();
 }
 
 StatusCode SednaNode::apply_write(const WriteRequest& req) {
@@ -559,6 +673,20 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
     reply(origin, rep.encode());
   };
 
+  // Deadline-aware fan-out: the replica RPC timeout never extends past the
+  // client's remaining budget — once the deadline passes, waiting longer
+  // can only produce an answer nobody wants. A timeout that fired early
+  // *because* of the deadline is abandonment, not failure evidence, so it
+  // must not feed the failure detector or queue hints (suspecting healthy
+  // nodes and replaying hints during overload would amplify the overload).
+  SimDuration fanout_timeout = config().rpc_timeout_us;
+  if (origin.deadline != 0 && origin.deadline > now()) {
+    fanout_timeout =
+        std::min<SimDuration>(fanout_timeout, origin.deadline - now());
+  }
+  const bool deadline_bounded =
+      origin.deadline != 0 && fanout_timeout < config().rpc_timeout_us;
+
   const std::string payload = req.encode();
   for (NodeId replica : replicas) {
     if (replica == id()) {
@@ -576,28 +704,32 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
       settle();
       continue;
     }
-    call(replica, kMsgReplicaWrite, payload,
-         [this, state, settle, replica, vnode, req](const Status& st,
-                                                    const std::string& body) {
-           ++state->responses;
-           if (!st.ok()) {
-             ++state->failures;
-             // The replica missed an acknowledged-at-W write: remember it
-             // and replay once the replica re-registers (hinted handoff).
-             queue_hint(replica, req);
-             suspect_node(replica, vnode);
-           } else {
-             auto rep = WriteReply::decode(body);
-             if (rep.ok() && rep->status == StatusCode::kOk) {
-               ++state->acks;
-             } else if (rep.ok() && rep->status == StatusCode::kOutdated) {
-               ++state->outdated;
-             } else {
-               ++state->failures;
-             }
-           }
-           settle();
-         });
+    call_with_timeout(
+        replica, kMsgReplicaWrite, payload, fanout_timeout,
+        [this, state, settle, replica, vnode, req, deadline_bounded](
+            const Status& st, const std::string& body) {
+          ++state->responses;
+          if (!st.ok()) {
+            ++state->failures;
+            if (!deadline_bounded) {
+              // The replica missed an acknowledged-at-W write: remember it
+              // and replay once the replica re-registers (hinted handoff).
+              queue_hint(replica, req);
+              suspect_node(replica, vnode);
+            }
+          } else {
+            auto rep = WriteReply::decode(body);
+            if (rep.ok() && rep->status == StatusCode::kOk) {
+              ++state->acks;
+            } else if (rep.ok() && rep->status == StatusCode::kOutdated) {
+              ++state->outdated;
+            } else {
+              ++state->failures;
+            }
+          }
+          settle();
+        },
+        origin.deadline);
   }
   set_trace_context(prev_ctx);
 }
@@ -674,6 +806,36 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
           return;
         }
       }
+      // Degraded mode: once enough replicas have failed (timed out, shed
+      // with kOverloaded, or sit behind a partition) that a full R-sized
+      // agreeing set is impossible, answer from the freshest positive
+      // reply in hand and *say so* via the stale tag, instead of letting
+      // the op ride out every timeout and fail. Keyspace-style trade:
+      // availability bought with labeled staleness.
+      if (config_.degraded_reads &&
+          state->failures + cfg.read_quorum > total) {
+        const ReadReply* freshest = nullptr;
+        for (const auto& [node, rep] : state->replies) {
+          if (rep.has_latest &&
+              (freshest == nullptr || rep.latest.ts > freshest->latest.ts)) {
+            freshest = &rep;
+          }
+        }
+        if (freshest != nullptr) {
+          state->replied = true;
+          state->has_answer = true;
+          state->answer = freshest->latest;
+          metrics_.counter("coordinator.degraded_reads").add(1);
+          metrics_.histogram("coordinator.read_latency_us")
+              .record(now() - started, trace);
+          ReadReply out = *freshest;
+          out.status = StatusCode::kOk;
+          out.stale = true;
+          end_span(coord_span, "ok");
+          reply(origin, out.encode());
+          return;
+        }
+      }
       if (state->responses < total) return;  // keep waiting
       // All replicas answered without an R-sized agreeing set: return the
       // freshest value (eventual consistency) and repair the rest.
@@ -691,6 +853,10 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
       if (freshest != nullptr) {
         out = *freshest;
         out.status = StatusCode::kOk;
+        // Below-quorum agreement: the answer is the freshest available
+        // but unconfirmed — label it rather than pass it off as a quorum
+        // read.
+        out.stale = true;
         state->has_answer = true;
         state->answer = freshest->latest;
         std::vector<NodeId> stale;
@@ -741,6 +907,16 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
     reply(origin, out.encode());
   };
 
+  // Deadline-aware fan-out; see handle_client_write. Deadline-shortened
+  // timeouts are abandonment, not failure evidence.
+  SimDuration fanout_timeout = config().rpc_timeout_us;
+  if (origin.deadline != 0 && origin.deadline > now()) {
+    fanout_timeout =
+        std::min<SimDuration>(fanout_timeout, origin.deadline - now());
+  }
+  const bool deadline_bounded =
+      origin.deadline != 0 && fanout_timeout < config().rpc_timeout_us;
+
   const std::string payload = req.encode();
   for (NodeId replica : replicas) {
     if (replica == id()) {
@@ -752,31 +928,39 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
       settle();
       continue;
     }
-    call(replica, kMsgReplicaRead, payload,
-         [this, state, settle, replica, vnode, key = req.key](
-             const Status& st, const std::string& body) {
-           ++state->responses;
-           if (!st.ok()) {
-             ++state->failures;
-             suspect_node(replica, vnode);
-           } else {
-             auto rep = ReadReply::decode(body);
-             if (rep.ok()) {
-               // Replies arriving after the quorum already settled still
-               // feed read repair: a replica that is behind (or brand
-               // new, after a membership change) gets the answer pushed.
-               if (state->replied && state->has_answer &&
-                   (!rep->has_latest ||
-                    rep->latest.ts < state->answer.ts)) {
-                 read_repair(key, state->answer, {replica});
-               }
-               state->replies.emplace_back(replica, std::move(rep).value());
-             } else {
-               ++state->failures;
-             }
-           }
-           settle();
-         });
+    call_with_timeout(
+        replica, kMsgReplicaRead, payload, fanout_timeout,
+        [this, state, settle, replica, vnode, key = req.key,
+         deadline_bounded](const Status& st, const std::string& body) {
+          ++state->responses;
+          if (!st.ok()) {
+            ++state->failures;
+            if (!deadline_bounded) suspect_node(replica, vnode);
+          } else {
+            auto rep = ReadReply::decode(body);
+            if (rep.ok() && rep->status == StatusCode::kOverloaded) {
+              // An overloaded replica is alive but shedding: count it as
+              // failed for quorum purposes, but do not suspect it and do
+              // not read-repair it (pushing writes at a node that just
+              // shed a read would deepen the overload).
+              ++state->failures;
+            } else if (rep.ok()) {
+              // Replies arriving after the quorum already settled still
+              // feed read repair: a replica that is behind (or brand
+              // new, after a membership change) gets the answer pushed.
+              if (state->replied && state->has_answer &&
+                  (!rep->has_latest ||
+                   rep->latest.ts < state->answer.ts)) {
+                read_repair(key, state->answer, {replica});
+              }
+              state->replies.emplace_back(replica, std::move(rep).value());
+            } else {
+              ++state->failures;
+            }
+          }
+          settle();
+        },
+        origin.deadline);
   }
   set_trace_context(prev_ctx);
 }

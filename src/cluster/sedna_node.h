@@ -103,6 +103,26 @@ struct SednaNodeConfig {
   /// guaranteed tracked). 0 disables hot-key detection.
   std::size_t hot_key_capacity = 64;
 
+  // --- Overload safety (admission control + degraded reads) -------------
+  // The ingress-queue bound itself lives in `host.max_ingress_queue`
+  // (0 = unbounded); SednaNode supplies the priority classing (client
+  // reads > client writes > repair/AE > migration) and answers shed
+  // client/replica ops with explicit kOverloaded replies.
+  /// Serve quorum-relaxed reads when a full read quorum cannot be
+  /// assembled (replica timeouts/overload/partition): settle on the
+  /// freshest positive reply in hand and tag it stale instead of failing.
+  /// Off by default — strict Section III.C quorum semantics.
+  bool degraded_reads = false;
+  /// After a crash+restart, re-pull every owned vnode slice from peer
+  /// replicas (bounded fan-out over the migration fetch path) before
+  /// reporting ready. Without this a restarted node re-joins with an
+  /// empty RAM store and only heals key-by-key via read repair /
+  /// anti-entropy — a rolling restart then strips a replica set bare one
+  /// node at a time and reads start answering confident not-found.
+  bool restart_hydration = true;
+  /// Concurrent slice fetches during hydration.
+  std::uint32_t restart_hydration_fanout = 8;
+
   zk::ZkClientConfig zk_client;  // ensemble is filled from zk_ensemble
   sim::HostConfig host;
 };
@@ -186,6 +206,14 @@ class SednaNode : public sim::Host {
       sim::MessageType type) const override;
   [[nodiscard]] TraceStage rpc_span_stage(
       sim::MessageType type) const override;
+  /// Ingress classing for admission control: client/replica reads first,
+  /// then writes, then repair/anti-entropy, then migration bulk.
+  [[nodiscard]] std::size_t message_priority(
+      const sim::Message& msg) const override;
+  /// Shed work is answered with an explicit kOverloaded reply on the
+  /// client/replica data path (background traffic is silently dropped —
+  /// its daemons already retry) and counted per reason.
+  void on_shed(const sim::Message& msg, sim::ShedReason reason) override;
 
  private:
   // Coordinator paths.
@@ -229,6 +257,10 @@ class SednaNode : public sim::Host {
 
   /// Pulls `vnode`'s items from the first healthy node in `sources`.
   /// `done` receives success plus the approximate payload bytes applied.
+  /// Restart hydration: re-fetch every owned vnode slice (bounded
+  /// concurrency), then invoke done. Best effort — unreachable slices are
+  /// left to read repair and anti-entropy.
+  void hydrate_after_restart(std::function<void()> done);
   void fetch_vnode_from(VnodeId vnode, std::vector<NodeId> sources,
                         std::size_t idx,
                         std::function<void(bool, std::uint64_t)> done);
@@ -309,6 +341,9 @@ class SednaNode : public sim::Host {
   MetadataCache metadata_;
   MetricRegistry metrics_;
   bool ready_ = false;
+  /// Set by on_crash: the next start() must hydrate the empty store from
+  /// peer replicas before reporting ready (see restart_hydration).
+  bool needs_hydration_ = false;
   std::uint16_t write_seq_ = 0;
   /// Per-vnode capacity/read/write/miss counters, sized at metadata load.
   std::vector<ring::VnodeStatus> vnode_status_;

@@ -43,8 +43,11 @@ namespace sedna {
 
 /// Stage a span's time is charged to: failed spans become retry time.
 inline TraceStage effective_stage(const Span& s) {
+  // "overloaded" = the work was shed (admission queue full, deadline
+  // expired, retry budget dry); the client time it cost is retry-cause
+  // tail, same as a timeout.
   if (s.status == "timeout" || s.status == "crashed" ||
-      s.status == "retry") {
+      s.status == "retry" || s.status == "overloaded") {
     return TraceStage::kRetry;
   }
   return s.stage;

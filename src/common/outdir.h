@@ -1,0 +1,30 @@
+// Output routing for bench/example artifacts (CSV, prom dumps).
+//
+// Benches used to write their figures into the current directory, which
+// in practice meant the repo root — regenerated ablation_*.csv churn in
+// every diff. out_path() routes artifacts into one directory instead:
+// $SEDNA_OUT_DIR if set, ./out otherwise (created on first use, and
+// .gitignore'd).
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace sedna {
+
+/// Directory bench/example artifacts land in. Creates it if missing.
+[[nodiscard]] inline std::string out_dir() {
+  const char* env = std::getenv("SEDNA_OUT_DIR");
+  std::string dir = (env != nullptr && *env != '\0') ? env : "out";
+  std::error_code ec;  // best effort: fopen will report real failures
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// Full path for one artifact file, e.g. out_path("fig7a.csv") → "out/fig7a.csv".
+[[nodiscard]] inline std::string out_path(const std::string& name) {
+  return out_dir() + "/" + name;
+}
+
+}  // namespace sedna

@@ -34,6 +34,11 @@ enum class StatusCode : std::uint8_t {
   kIoError,
   kCorruption,
   kUnavailable,
+  /// Explicit load-shed: the node's admission queue was full, the request
+  /// deadline had already expired, or the client's retry budget ran dry.
+  /// Retryable — but only against the retry budget, so shed traffic can
+  /// never amplify into more offered load than fresh traffic allows.
+  kOverloaded,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
@@ -51,6 +56,7 @@ enum class StatusCode : std::uint8_t {
     case StatusCode::kIoError: return "io_error";
     case StatusCode::kCorruption: return "corruption";
     case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kOverloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -99,6 +105,9 @@ class Status {
   }
   [[nodiscard]] static Status Unavailable(std::string m = {}) {
     return {StatusCode::kUnavailable, std::move(m)};
+  }
+  [[nodiscard]] static Status Overloaded(std::string m = {}) {
+    return {StatusCode::kOverloaded, std::move(m)};
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

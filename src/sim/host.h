@@ -1,10 +1,22 @@
 // Simulated server: a CPU-serialized message handler with an RPC layer.
 //
 // CPU model: each host owns one logical core (the testbed's dual-core Xeons
-// ran one Sedna service each); incoming messages queue behind `cpu_free_`
-// and each costs a (seeded, jittered) service time. This serialization is
-// what produces the Fig. 8 behaviour — nine concurrent clients slow each
-// other down at the replicas while aggregate throughput rises.
+// ran one Sedna service each); incoming messages wait in a real ingress
+// queue and each costs a (seeded, jittered) service time. This
+// serialization is what produces the Fig. 8 behaviour — nine concurrent
+// clients slow each other down at the replicas while aggregate throughput
+// rises.
+//
+// Overload safety: the ingress queue is priority-classed (0 = most
+// important) and optionally bounded. When `max_ingress_queue` is set,
+// requests arriving above their class's admission threshold are *shed* at
+// delivery — the subclass's on_shed() hook decides whether to answer with
+// an explicit kOverloaded reply — and requests whose stamped deadline
+// (Message::deadline) has already expired are shed at dequeue time without
+// consuming any CPU. Responses are never shed: they complete work the
+// host already paid for. With the bound disabled (the default) and a
+// single priority class the queue degenerates to exactly the old FIFO
+// timeline, byte for byte.
 //
 // RPC: call() tags a message with a fresh rpc_id and arms a timeout timer.
 // The callback receives kOk plus the response payload, or kTimeout with an
@@ -20,7 +32,9 @@
 // tree. All of it is a no-op while the simulation's Tracer is disabled.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -34,6 +48,18 @@
 
 namespace sedna::sim {
 
+/// Ingress priority classes (0 served first). The data-path convention:
+/// client reads > client writes > repair/anti-entropy > migration.
+inline constexpr std::size_t kHostPriorities = 4;
+
+/// Why a message was shed instead of serviced.
+enum class ShedReason : std::uint8_t {
+  /// Admission control: the ingress queue was at this class's threshold.
+  kQueueFull = 0,
+  /// The message's stamped deadline expired while it waited in queue.
+  kDeadlineExceeded = 1,
+};
+
 struct HostConfig {
   /// Mean CPU cost of handling one message (hash + store op + reply build).
   /// ~8 us matches the era's Memcached at roughly 100k ops/s/core.
@@ -42,6 +68,12 @@ struct HostConfig {
   double service_jitter_frac = 0.25;
   /// Default RPC timeout.
   SimDuration rpc_timeout_us = 50 * 1000;
+  /// Bounded ingress queue: maximum queued messages before *requests*
+  /// start being shed (responses are always admitted). Priority class p
+  /// is admitted only while the queue holds fewer than
+  /// max_ingress_queue·(4-p)/4 messages, so background classes lose
+  /// their slots first as the queue fills. 0 = unbounded (legacy model).
+  std::size_t max_ingress_queue = 0;
 };
 
 class Host {
@@ -72,9 +104,10 @@ class Host {
   [[nodiscard]] const HostConfig& config() const { return config_; }
   [[nodiscard]] bool alive() const { return alive_; }
 
-  /// Crash the host: stop receiving, forget pending RPCs (their remote
-  /// responses will be dropped by the network anyway). Recover with
-  /// restart(); subclasses override on_crash/on_restart for state effects.
+  /// Crash the host: stop receiving, drop the ingress queue, forget
+  /// pending RPCs (their remote responses will be dropped by the network
+  /// anyway). Recover with restart(); subclasses override
+  /// on_crash/on_restart for state effects.
   void crash() {
     alive_ = false;
     net_.set_node_up(id_, false);
@@ -83,29 +116,43 @@ class Host {
       tracer().end(pending.rpc_span, now(), "crashed");
     }
     pending_.clear();
+    for (auto& q : queues_) q.clear();
+    queued_ = 0;
+    cpu_busy_ = false;
+    ++cpu_epoch_;  // orphan any in-flight service completion event
     trace_ctx_ = {};
     on_crash();
   }
   void restart() {
     alive_ = true;
     net_.set_node_up(id_, true);
-    cpu_free_ = sim().now();
     on_restart();
   }
 
-  /// Entry point used by Network: queue the message behind the CPU.
+  /// Entry point used by Network: admit (or shed) the message, then queue
+  /// it behind the CPU in its priority class.
   void deliver(const Message& msg) {
     if (!alive_) return;
-    const SimTime arrival = sim().now();
-    const SimTime start = std::max(arrival, cpu_free_);
-    const SimDuration cost = service_cost(msg);
-    cpu_free_ = start + cost;
-    Message copy = msg;
-    sim().schedule(cpu_free_ - sim().now(),
-                   [this, live = live_, m = std::move(copy), arrival, start,
-                    cost]() mutable {
-                     if (*live && alive_) dispatch(m, arrival, start, cost);
-                   });
+    const std::size_t prio = clamp_priority(message_priority(msg));
+    if (!msg.is_response && config_.max_ingress_queue > 0) {
+      const std::size_t cap = config_.max_ingress_queue *
+                              (kHostPriorities - prio) / kHostPriorities;
+      if (queued_ >= (cap == 0 ? 1 : cap)) {
+        ++shed_queue_full_;
+        on_shed(msg, ShedReason::kQueueFull);
+        return;
+      }
+    }
+    // Service cost is drawn at arrival (not at dequeue) so the shared RNG
+    // stream is consumed in network-delivery order — the same order the
+    // pre-queue timeline model used.
+    QueuedMessage item;
+    item.msg = msg;
+    item.arrival = sim().now();
+    item.cost = service_cost(msg);
+    queues_[prio].push_back(std::move(item));
+    ++queued_;
+    if (!cpu_busy_) start_next();
   }
 
   /// Issues a request and arms a timeout.
@@ -115,8 +162,11 @@ class Host {
                       std::move(cb));
   }
 
+  /// `deadline` (absolute, 0 = none) is stamped on the outgoing message so
+  /// every downstream host may shed the work once it cannot finish in time.
   void call_with_timeout(NodeId to, MessageType type, std::string payload,
-                         SimDuration timeout, RpcCallback cb) {
+                         SimDuration timeout, RpcCallback cb,
+                         SimTime deadline = 0) {
     const std::uint64_t rpc_id = next_rpc_id_++;
     const TraceContext caller_ctx = trace_ctx_;
     const SpanId rpc_span = tracer().begin(caller_ctx, rpc_span_name(type),
@@ -137,6 +187,7 @@ class Host {
                 std::move(payload)};
     msg.trace_id = caller_ctx.trace_id;
     msg.span_id = rpc_span != 0 ? rpc_span : caller_ctx.span_id;
+    msg.deadline = deadline;
     net_.send(std::move(msg));
   }
 
@@ -159,6 +210,16 @@ class Host {
   }
 
   [[nodiscard]] std::size_t pending_rpcs() const { return pending_.size(); }
+
+  // ---- overload introspection -------------------------------------------
+  /// Messages currently waiting in the ingress queue (all classes).
+  [[nodiscard]] std::size_t queue_depth() const { return queued_; }
+  /// Requests shed at admission because the queue was full.
+  [[nodiscard]] std::uint64_t shed_queue_full() const {
+    return shed_queue_full_;
+  }
+  /// Requests shed at dequeue because their deadline had expired.
+  [[nodiscard]] std::uint64_t shed_deadline() const { return shed_deadline_; }
 
   // ---- tracing ----------------------------------------------------------
   [[nodiscard]] Tracer& tracer() const { return sim().tracer(); }
@@ -201,6 +262,25 @@ class Host {
   virtual void on_crash() {}
   virtual void on_restart() {}
 
+  /// Ingress priority class for a message (0 = served first). The base
+  /// host treats all traffic equally — strict FIFO, exactly the old
+  /// timeline model. Protocol subclasses classify their request types;
+  /// responses should stay in class 0 (they finish work in flight).
+  [[nodiscard]] virtual std::size_t message_priority(
+      const Message& msg) const {
+    (void)msg;
+    return 0;
+  }
+
+  /// A message was dropped instead of serviced. Runs at shed time with no
+  /// CPU cost modeled; subclasses may send an explicit kOverloaded reply
+  /// (building a tiny reject reply is negligible next to real service).
+  /// Default: silent drop — the caller's RPC timeout is the signal.
+  virtual void on_shed(const Message& msg, ShedReason reason) {
+    (void)msg;
+    (void)reason;
+  }
+
   /// Name given to the span opened around an outgoing RPC. Subclasses
   /// that know their protocol override this with readable names.
   [[nodiscard]] virtual std::string rpc_span_name(MessageType type) const {
@@ -235,6 +315,53 @@ class Host {
     /// Span covering the request/response round trip (0 when untraced).
     SpanId rpc_span = 0;
   };
+
+  struct QueuedMessage {
+    Message msg;
+    SimTime arrival = 0;
+    SimDuration cost = 0;
+  };
+
+  static std::size_t clamp_priority(std::size_t p) {
+    return p >= kHostPriorities ? kHostPriorities - 1 : p;
+  }
+
+  /// Begins servicing the head of the highest non-empty priority class.
+  /// Expired-deadline requests are shed here, before any CPU is spent on
+  /// them — late work is dropped, not burned.
+  void start_next() {
+    while (queued_ > 0) {
+      auto* queue = &queues_[0];
+      for (auto& q : queues_) {
+        if (!q.empty()) {
+          queue = &q;
+          break;
+        }
+      }
+      QueuedMessage item = std::move(queue->front());
+      queue->pop_front();
+      --queued_;
+      if (!item.msg.is_response && item.msg.deadline != 0 &&
+          now() > item.msg.deadline) {
+        ++shed_deadline_;
+        on_shed(item.msg, ShedReason::kDeadlineExceeded);
+        continue;
+      }
+      cpu_busy_ = true;
+      const SimTime start = now();
+      sim().schedule(
+          item.cost,
+          [this, live = live_, epoch = cpu_epoch_, item = std::move(item),
+           start]() mutable {
+            if (!*live || epoch != cpu_epoch_) return;
+            cpu_busy_ = false;
+            if (alive_) dispatch(item.msg, item.arrival, start, item.cost);
+            if (alive_ && !cpu_busy_) start_next();
+          });
+      return;
+    }
+    cpu_busy_ = false;
+  }
 
   void dispatch(const Message& msg, SimTime arrival, SimTime start,
                 SimDuration cost) {
@@ -284,7 +411,15 @@ class Host {
   /// a destroyed host is never dereferenced.
   std::shared_ptr<bool> live_ = std::make_shared<bool>(true);
   bool alive_ = true;
-  SimTime cpu_free_ = 0;
+  /// Real ingress queues, one per priority class, drained by one core.
+  std::array<std::deque<QueuedMessage>, kHostPriorities> queues_;
+  std::size_t queued_ = 0;
+  bool cpu_busy_ = false;
+  /// Bumped on crash so an in-flight service-completion event from the
+  /// previous incarnation cannot touch the restarted host.
+  std::uint64_t cpu_epoch_ = 0;
+  std::uint64_t shed_queue_full_ = 0;
+  std::uint64_t shed_deadline_ = 0;
   std::uint64_t next_rpc_id_ = 1;
   std::unordered_map<std::uint64_t, Pending> pending_;
   TraceContext trace_ctx_;

@@ -33,6 +33,12 @@ struct Message {
   /// trace changes no timing.
   std::uint64_t trace_id = 0;
   std::uint64_t span_id = 0;
+  /// Absolute request deadline (virtual µs); 0 = none. Stamped by the
+  /// client on fresh ops and propagated verbatim through every hop the
+  /// coordinator fans out on the request's behalf, so any host on the
+  /// path can shed work that can no longer finish in time. Rides inside
+  /// the modeled fixed header, like the trace context.
+  SimTime deadline = 0;
 
   [[nodiscard]] std::size_t wire_size() const {
     // Headers modeled as a fixed 32-byte cost, roughly an Ethernet+IP+TCP

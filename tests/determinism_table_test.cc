@@ -7,6 +7,7 @@
 #include "cluster/sedna_cluster.h"
 #include "cluster/table.h"
 #include "store/local_store.h"
+#include "workload/open_loop.h"
 
 namespace sedna::cluster {
 namespace {
@@ -202,6 +203,87 @@ TEST(Determinism, RebalancerRunsAreByteIdenticalAcrossSeedSweep) {
     EXPECT_NE(a.metrics.find("sedna_rebalance_migrations_completed"),
               std::string::npos);
     EXPECT_NE(a.timeseries.find("migrations_inflight"), std::string::npos);
+  }
+}
+
+// ---- overloaded-path determinism ----------------------------------------------
+//
+// The overload defenses add new control flow everywhere on the hot path:
+// priority-class admission at every host ingress queue, deadline checks
+// at dequeue, client-side retry-budget token accounting, and degraded
+// quorum-relaxed reads. All of it must stay on the deterministic
+// surface even while the cluster is actively shedding: an open-loop
+// pulse past saturation with every defense enabled replays
+// bit-identically across runs for every seed, including the monitor's
+// overload series and alert state embedded in the dumps.
+
+ObservabilityDump run_overloaded(std::uint64_t seed) {
+  SednaClusterConfig cfg;
+  cfg.zk_members = 3;
+  cfg.data_nodes = 4;
+  cfg.cluster.total_vnodes = 64;
+  cfg.seed = seed;
+  cfg.node_template.host.max_ingress_queue = 24;
+  cfg.node_template.degraded_reads = true;
+  cfg.client_template.op_timeout_us = 30'000;
+  cfg.client_template.max_attempts = 3;
+  cfg.client_template.op_deadline_us = 90'000;
+  cfg.client_template.retry_budget_capacity = 10.0;
+  cfg.client_template.retry_budget_refill = 0.3;
+  SednaCluster cluster(cfg);
+  EXPECT_TRUE(cluster.boot().ok());
+  MonitorConfig mon;
+  mon.sample_interval = sim_ms(100);
+  cluster.enable_monitor(mon);
+  auto& client = cluster.make_client();
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(cluster.write_latest(client, "ov-" + std::to_string(i),
+                                     "v" + std::to_string(i)).ok());
+  }
+  // Open-loop pulse well past the 4-node service capacity, plus a crash
+  // mid-pulse so retries contend with sheds for the remaining budget.
+  workload::OpenLoopConfig load;
+  load.curve = {{0, 1000}, {sim_ms(500), 6000}, {sim_ms(1500), 1000}};
+  load.duration = sim_sec(3);
+  workload::OpenLoopDriver driver(
+      cluster.sim(), load,
+      [&](std::uint64_t seq, const std::function<void(bool)>& done) {
+        const std::string key =
+            "ov-" + std::to_string(cluster.sim().rng().next_below(40));
+        if (seq % 7 == 0) {
+          client.write_latest(key, "p" + std::to_string(seq),
+                              [done](const Status& st) { done(st.ok()); });
+        } else {
+          client.read_latest(key, [done](const auto& r) { done(r.ok()); });
+        }
+      });
+  driver.start();
+  cluster.sim().schedule(sim_ms(900), [&] { cluster.crash_node(2); });
+  cluster.run_for(sim_sec(4));
+  ClusterInspector inspector(cluster);
+  return {inspector.metrics_text(),    inspector.trace_json(),
+          inspector.timeseries_csv(),  inspector.dashboard(),
+          inspector.tail_report(),     inspector.attribution_csv()};
+}
+
+TEST(Determinism, OverloadedRunsAreByteIdenticalAcrossSeedSweep) {
+  for (std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
+    const ObservabilityDump a = run_overloaded(seed);
+    const ObservabilityDump b = run_overloaded(seed);
+    EXPECT_EQ(a.metrics, b.metrics) << "metrics diverged for seed " << seed;
+    EXPECT_EQ(a.traces, b.traces) << "traces diverged for seed " << seed;
+    EXPECT_EQ(a.timeseries, b.timeseries)
+        << "time series diverged for seed " << seed;
+    EXPECT_EQ(a.dashboard, b.dashboard)
+        << "dashboard diverged for seed " << seed;
+    EXPECT_EQ(a.tail_report, b.tail_report)
+        << "tail report diverged for seed " << seed;
+    EXPECT_EQ(a.attribution, b.attribution)
+        << "attribution CSV diverged for seed " << seed;
+    // The pulse really overloaded the cluster: hosts shed work and the
+    // monitor's overload series recorded it.
+    EXPECT_NE(a.metrics.find("sedna_node_shed"), std::string::npos);
+    EXPECT_NE(a.timeseries.find("shed_rate"), std::string::npos);
   }
 }
 

@@ -24,6 +24,7 @@ trap 'rm -rf "${drill_tmp}"' EXIT
 for run in 1 2; do
   mkdir -p "${drill_tmp}/${run}"
   (cd "${drill_tmp}/${run}" &&
+   SEDNA_OUT_DIR="${drill_tmp}/${run}" \
    "${build_dir}/examples/failure_drill" > stdout.txt)
 done
 diff "${drill_tmp}/1/stdout.txt" "${drill_tmp}/2/stdout.txt" \
@@ -49,6 +50,7 @@ echo "failure_drill determinism gate: OK"
 for run in 1 2; do
   mkdir -p "${drill_tmp}/reb${run}"
   (cd "${drill_tmp}/reb${run}" &&
+   SEDNA_OUT_DIR="${drill_tmp}/reb${run}" \
    "${build_dir}/bench/hotkey_skew" rebalance > stdout.txt)
 done
 diff "${drill_tmp}/reb1/stdout.txt" "${drill_tmp}/reb2/stdout.txt" \
@@ -57,5 +59,27 @@ diff "${drill_tmp}/reb1/ablation_rebalance.csv" \
      "${drill_tmp}/reb2/ablation_rebalance.csv" \
   || { echo "rebalance ablation CSV is not deterministic"; exit 1; }
 echo "rebalance ablation determinism gate: OK"
+
+# Overload scenario suite: runs the five open-loop chaos scenarios (flash
+# crowd, diurnal wave, rolling restart, zone partition, metastability
+# ablation) and exits non-zero unless every goodput/availability gate
+# passes. Two runs must also agree byte for byte — the overload defenses
+# (admission control, deadline sheds, retry budgets, degraded reads,
+# restart hydration) are all on the deterministic surface.
+for run in 1 2; do
+  mkdir -p "${drill_tmp}/ss${run}"
+  SEDNA_OUT_DIR="${drill_tmp}/ss${run}" \
+    "${build_dir}/bench/scenario_suite" > "${drill_tmp}/ss${run}/stdout.txt"
+done
+diff "${drill_tmp}/ss1/stdout.txt" "${drill_tmp}/ss2/stdout.txt" \
+  || { echo "scenario_suite stdout is not deterministic"; exit 1; }
+diff "${drill_tmp}/ss1/scenario_suite.csv" \
+     "${drill_tmp}/ss2/scenario_suite.csv" \
+  || { echo "scenario_suite goodput CSV is not deterministic"; exit 1; }
+diff "${drill_tmp}/ss1/scenario_suite_metrics.prom" \
+     "${drill_tmp}/ss2/scenario_suite_metrics.prom" \
+  || { echo "scenario_suite metrics dump is not deterministic"; exit 1; }
+"${build_dir}/tests/promlint" "${drill_tmp}/ss1/scenario_suite_metrics.prom"
+echo "scenario suite determinism gate: OK"
 
 "${repo_root}/tests/run_sanitized.sh" "$@"

@@ -27,5 +27,14 @@ echo "sanitized rebalance ablation: OK"
 # run under ASan/UBSan, and its attribution report must still clear the
 # drill's own coverage/dominance gates (non-zero exit otherwise).
 drill_tmp="$(mktemp -d "${reb_tmp}/drill.XXXXXX")"
-(cd "${drill_tmp}" && "${build_dir}/examples/failure_drill" > /dev/null)
+(cd "${drill_tmp}" && SEDNA_OUT_DIR="${drill_tmp}" \
+ "${build_dir}/examples/failure_drill" > /dev/null)
 echo "sanitized failure drill (attribution gates): OK"
+
+# One sanitized pass over the overload scenario suite: admission-control
+# sheds, deadline drops, retry-budget accounting, degraded reads and
+# restart hydration all run under ASan/UBSan, and the suite's own
+# goodput/availability gates must still pass (non-zero exit otherwise).
+ss_tmp="$(mktemp -d "${reb_tmp}/ss.XXXXXX")"
+SEDNA_OUT_DIR="${ss_tmp}" "${build_dir}/bench/scenario_suite" > /dev/null
+echo "sanitized scenario suite (overload gates): OK"
