@@ -48,6 +48,12 @@ struct MonitorConfig {
   /// stuck-migration rule fires (migrations are normally far shorter than
   /// the sampling window times this).
   std::uint32_t stuck_migration_samples = 10;
+  /// Retained concurrent siblings (cluster-wide, beyond one per key)
+  /// tolerated before the sibling-growth rule starts counting. A handful
+  /// is healthy — racing writers are the point of DVVs — but a sustained
+  /// pile-up means clients are blind-writing without reading a context.
+  double sibling_growth_threshold = 16.0;
+  std::uint32_t sibling_growth_samples = 4;
 };
 
 struct HealthTransition {
@@ -82,6 +88,12 @@ class ClusterMonitor {
       add_rule({"retry-budget-exhausted", "budget_exhausted_rate",
                 AlertOp::kGreaterThan, 0.0, config_.alert_for_samples,
                 config_.alert_clear_samples, "critical"});
+      // The siblings series is a gauge, so this resolves on its own once
+      // contextual puts (or read repair) collapse the conflict frontier.
+      add_rule({"sibling-growth", "siblings", AlertOp::kGreaterThan,
+                config_.sibling_growth_threshold,
+                config_.sibling_growth_samples, config_.alert_clear_samples,
+                "warning"});
     }
     alerts_.set_transition_hook(
         [this](const AlertRule& rule, const AlertEvent& e) {
@@ -335,6 +347,27 @@ class ClusterMonitor {
                            prev = total;
                            return delta;
                          });
+    // Causal conflict telemetry (appended last — CSV column order again).
+    // Live excess-sibling count across the cluster: the concurrent-version
+    // frontier operators watch for runaway growth (a client fleet that
+    // never reads before writing mints unbounded siblings). 0 on every
+    // pure-LWW workload.
+    recorder_.add_series("siblings", [this] {
+      double n = 0;
+      for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+        n += static_cast<double>(
+            cluster_.node(i).local_store().stats().siblings);
+      }
+      return n;
+    });
+    recorder_.add_series("dvv_merges", [this] {
+      double n = 0;
+      for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+        n += static_cast<double>(
+            cluster_.node(i).local_store().stats().dvv_merges);
+      }
+      return n;
+    });
   }
 
   enum VnodeField { kFieldReads, kFieldWrites, kFieldMisses };

@@ -14,7 +14,15 @@
 #include "common/codec.h"
 #include "common/status.h"
 #include "sim/message.h"
+#include "store/dvv.h"
 #include "store/item.h"
+
+// Causal (DVV) wire extensions ride in *trailing optional sections*: they
+// are encoded only when actually carrying causal state, and decoders read
+// them only when bytes remain after the legacy layout. Messages on the
+// default LWW path therefore keep their exact pre-causal byte size, which
+// matters because the simulated network charges delivery delay by payload
+// size — an unconditional field would shift every seeded benchmark.
 
 namespace sedna::cluster {
 
@@ -45,6 +53,22 @@ struct WriteRequest {
   /// each replica against its own clock at apply time.
   std::uint64_t ttl = 0;
 
+  /// Trailing causal section selector.
+  enum : std::uint8_t {
+    kCausalNone = 0,
+    /// Client put: `ctx` carries the version vector of the client's last
+    /// read of the key (its write context). The coordinator prunes the
+    /// siblings the client had seen and mints a fresh dot.
+    kCausalCtx = 1,
+    /// Replica push (fan-out, hint replay, read repair, anti-entropy):
+    /// `record` is the coordinator's full post-update record; receivers
+    /// join it into their own.
+    kCausalRecord = 2,
+  };
+  std::uint8_t causal_tag = kCausalNone;
+  store::VersionVector ctx;
+  store::CausalRecord record;
+
   [[nodiscard]] std::string encode() const {
     BinaryWriter w(key.size() + value.size() + 40);
     w.put_u8(static_cast<std::uint8_t>(mode));
@@ -54,6 +78,11 @@ struct WriteRequest {
     w.put_u32(flags);
     w.put_u32(source);
     w.put_u64(ttl);
+    if (causal_tag != kCausalNone) {
+      w.put_u8(causal_tag);
+      if (causal_tag == kCausalCtx) ctx.encode(w);
+      if (causal_tag == kCausalRecord) record.encode(w);
+    }
     return std::move(w).take();
   }
 
@@ -67,6 +96,16 @@ struct WriteRequest {
     req.flags = r.get_u32();
     req.source = r.get_u32();
     req.ttl = r.get_u64();
+    if (!r.failed() && !r.exhausted()) {
+      req.causal_tag = r.get_u8();
+      if (req.causal_tag == kCausalCtx) {
+        req.ctx = store::VersionVector::decode(r);
+      } else if (req.causal_tag == kCausalRecord) {
+        req.record = store::CausalRecord::decode(r);
+      } else {
+        r.mark_failed();
+      }
+    }
     if (r.failed()) return Status::Corruption("bad write request");
     return req;
   }
@@ -76,10 +115,15 @@ struct WriteReply {
   /// kOk | kOutdated | kFailure (the three client-visible outcomes of
   /// Section III.F) — plus kQuorumFailed for diagnostics.
   StatusCode status = StatusCode::kOk;
+  /// Trailing causal section: the post-write clock, returned for a
+  /// kCausalCtx put so the client can thread it into its next context.
+  bool has_ctx = false;
+  store::VersionVector ctx;
 
   [[nodiscard]] std::string encode() const {
     BinaryWriter w(1);
     w.put_u8(static_cast<std::uint8_t>(status));
+    if (has_ctx) ctx.encode(w);
     return std::move(w).take();
   }
 
@@ -87,6 +131,10 @@ struct WriteReply {
     BinaryReader r(bytes);
     WriteReply rep;
     rep.status = static_cast<StatusCode>(r.get_u8());
+    if (!r.failed() && !r.exhausted()) {
+      rep.ctx = store::VersionVector::decode(r);
+      rep.has_ctx = !r.failed();
+    }
     if (r.failed()) return Status::Corruption("bad write reply");
     return rep;
   }
@@ -95,11 +143,15 @@ struct WriteReply {
 struct ReadRequest {
   ReadMode mode = ReadMode::kLatest;
   std::string key;
+  /// Trailing causal flag: ask for the full causal record (clock +
+  /// siblings) instead of the LWW projection.
+  bool causal = false;
 
   [[nodiscard]] std::string encode() const {
     BinaryWriter w(key.size() + 8);
     w.put_u8(static_cast<std::uint8_t>(mode));
     w.put_string(key);
+    if (causal) w.put_bool(true);
     return std::move(w).take();
   }
 
@@ -108,6 +160,7 @@ struct ReadRequest {
     ReadRequest req;
     req.mode = static_cast<ReadMode>(r.get_u8());
     req.key = r.get_string();
+    if (!r.failed() && !r.exhausted()) req.causal = r.get_bool();
     if (r.failed()) return Status::Corruption("bad read request");
     return req;
   }
@@ -124,6 +177,10 @@ struct ReadReply {
   /// but may miss a concurrent acked write (see PAPERS.md 2008.11900 on
   /// the availability/staleness trade).
   bool stale = false;
+  /// Trailing causal section: the replica's full causal record, present
+  /// only on replies to causal reads.
+  bool has_causal = false;
+  store::CausalRecord causal;
 
   [[nodiscard]] std::string encode() const {
     BinaryWriter w(latest.value.size() + 32);
@@ -139,6 +196,7 @@ struct ReadReply {
                    out.put_u64(sv.ts);
                  });
     w.put_bool(stale);
+    if (has_causal) causal.encode(w);
     return std::move(w).take();
   }
 
@@ -159,6 +217,10 @@ struct ReadReply {
           return sv;
         });
     rep.stale = r.get_bool();
+    if (!r.failed() && !r.exhausted()) {
+      rep.causal = store::CausalRecord::decode(r);
+      rep.has_causal = !r.failed();
+    }
     if (r.failed()) return Status::Corruption("bad read reply");
     return rep;
   }
@@ -170,6 +232,10 @@ struct TransferItem {
   bool has_latest = false;
   store::VersionedValue latest;
   std::vector<store::SourceValue> value_list;
+  /// Causal record; empty for LWW items. Carried in FetchVnodeReply's
+  /// trailing parallel section (the per-item layout is not individually
+  /// framed, so it cannot grow in place without breaking old readers).
+  store::CausalRecord causal;
 };
 
 struct FetchVnodeRequest {
@@ -209,6 +275,20 @@ struct FetchVnodeReply {
                        o2.put_u64(sv.ts);
                      });
     });
+    // Trailing parallel causal section: (item index, record) pairs for
+    // the items that have causal state; omitted entirely when none do.
+    std::uint32_t causal_count = 0;
+    for (const auto& item : items) {
+      if (!item.causal.empty()) ++causal_count;
+    }
+    if (causal_count > 0) {
+      w.put_u32(causal_count);
+      for (std::uint32_t i = 0; i < items.size(); ++i) {
+        if (items[i].causal.empty()) continue;
+        w.put_u32(i);
+        items[i].causal.encode(w);
+      }
+    }
     return std::move(w).take();
   }
 
@@ -233,6 +313,18 @@ struct FetchVnodeReply {
           });
       return item;
     });
+    if (!r.failed() && !r.exhausted()) {
+      const std::uint32_t n = r.get_u32();
+      for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+        const std::uint32_t idx = r.get_u32();
+        store::CausalRecord rec = store::CausalRecord::decode(r);
+        if (idx < rep.items.size()) {
+          rep.items[idx].causal = std::move(rec);
+        } else {
+          r.mark_failed();
+        }
+      }
+    }
     if (r.failed()) return Status::Corruption("bad fetch reply");
     return rep;
   }
@@ -424,6 +516,11 @@ struct KeySummary {
   bool has_latest = false;
   Timestamp latest_ts = 0;
   std::uint64_t list_digest = 0;
+  /// Digest of the peer's causal record (0 = no causal state). Ordering
+  /// on timestamps cannot reconcile causal keys — equal digests mean
+  /// converged, different digests mean "exchange records and join".
+  /// Carried in VnodeDigestReply's trailing parallel section.
+  std::uint64_t causal_digest = 0;
 };
 
 struct VnodeDigestReply {
@@ -450,6 +547,20 @@ struct VnodeDigestReply {
       out.put_u64(k.list_digest);
     });
     w.put_bool(truncated);
+    // Trailing parallel causal-digest section (same pattern as
+    // FetchVnodeReply): only keys with causal state appear.
+    std::uint32_t causal_count = 0;
+    for (const auto& k : keys) {
+      if (k.causal_digest != 0) ++causal_count;
+    }
+    if (causal_count > 0) {
+      w.put_u32(causal_count);
+      for (std::uint32_t i = 0; i < keys.size(); ++i) {
+        if (keys[i].causal_digest == 0) continue;
+        w.put_u32(i);
+        w.put_u64(keys[i].causal_digest);
+      }
+    }
     return std::move(w).take();
   }
 
@@ -471,6 +582,18 @@ struct VnodeDigestReply {
       return k;
     });
     rep.truncated = r.get_bool();
+    if (!r.failed() && !r.exhausted()) {
+      const std::uint32_t cn = r.get_u32();
+      for (std::uint32_t i = 0; i < cn && !r.failed(); ++i) {
+        const std::uint32_t idx = r.get_u32();
+        const std::uint64_t digest = r.get_u64();
+        if (idx < rep.keys.size()) {
+          rep.keys[idx].causal_digest = digest;
+        } else {
+          r.mark_failed();
+        }
+      }
+    }
     if (r.failed()) return Status::Corruption("bad digest reply");
     return rep;
   }

@@ -126,6 +126,15 @@ NodeId SednaClient::coordinator_for(const std::string& key,
 
 void SednaClient::do_write(WriteRequest req, int attempt, SimTime deadline,
                            WriteCallback cb) {
+  do_write_full(std::move(req), attempt, deadline,
+                [cb = std::move(cb)](const Result<WriteReply>& rep) {
+                  cb(rep.ok() ? Status(rep->status) : rep.status());
+                });
+}
+
+void SednaClient::do_write_full(
+    WriteRequest req, int attempt, SimTime deadline,
+    std::function<void(const Result<WriteReply>&)> cb) {
   const NodeId coordinator = coordinator_for(req.key, attempt);
   if (coordinator == kInvalidNode) {
     cb(Status::Unavailable("no replicas for key"));
@@ -152,21 +161,25 @@ void SednaClient::do_write(WriteRequest req, int attempt, SimTime deadline,
       [this, req = std::move(req), attempt, deadline, span, parent,
        cb = std::move(cb)](const Status& st,
                            const std::string& body) mutable {
-         Status final = Status::Failure("write attempts exhausted");
+         Result<WriteReply> final =
+             Status::Failure("write attempts exhausted");
          if (st.ok()) {
            auto rep = WriteReply::decode(body);
            // kUnavailable (node not ready), kFailure (quorum broken —
            // often stale routing at the coordinator while recovery is in
            // flight) and kOverloaded (explicit shed) are retryable: the
            // timestamp is pinned at the first attempt, so a replayed
-           // write is idempotent under LWW.
+           // write is idempotent under LWW (and a causal replay re-sends
+           // the same context — the coordinator mints a fresh dot, but
+           // the earlier attempt's ack never reached the client, so the
+           // extra sibling is pruned by the client's next contextual put).
            if (rep.ok() && rep->status != StatusCode::kUnavailable &&
                rep->status != StatusCode::kFailure &&
                rep->status != StatusCode::kOverloaded) {
              metrics_.counter("client.writes").add(1);
              refill_retry_budget();
              end_span(span, std::string(to_string(rep->status)));
-             cb(Status(rep->status));
+             cb(std::move(rep));
              return;
            }
            if (rep.ok()) final = Status(rep->status);
@@ -200,7 +213,8 @@ void SednaClient::do_write(WriteRequest req, int attempt, SimTime deadline,
                                     cb = std::move(cb)]() mutable {
              tracer().end(wait, now());
              set_trace_context(parent);
-             do_write(std::move(req), attempt + 1, deadline, std::move(cb));
+             do_write_full(std::move(req), attempt + 1, deadline,
+                           std::move(cb));
            });
          });
        },
@@ -276,6 +290,89 @@ void SednaClient::do_read(ReadRequest req, int attempt, SimTime deadline,
        },
       deadline);
   set_trace_context(parent);
+}
+
+void SednaClient::put_causal(const std::string& key, const std::string& value,
+                             const store::VersionVector& ctx,
+                             PutCausalCallback cb) {
+  WriteRequest req;
+  req.mode = WriteMode::kLatest;
+  req.key = key;
+  req.value = value;
+  req.ts = next_ts();
+  req.source = id();
+  req.causal_tag = WriteRequest::kCausalCtx;
+  req.ctx = ctx;
+  const TraceContext root =
+      begin_trace("client.put_causal", TraceStage::kService);
+  const SimTime started = now();
+  do_write_full(
+      std::move(req), 0, op_deadline(),
+      [this, root, started, cb = std::move(cb)](const Result<WriteReply>& rep) {
+        metrics_.histogram("client.write_latency_us")
+            .record(now() - started, root.trace_id);
+        const StatusCode code = rep.ok() ? rep->status : rep.status().code();
+        end_span(root.span_id, std::string(to_string(code)));
+        if (!rep.ok()) {
+          cb(rep.status(), {});
+          return;
+        }
+        cb(Status(rep->status),
+           rep->has_ctx ? rep->ctx : store::VersionVector{});
+      });
+}
+
+void SednaClient::get_causal(const std::string& key, GetCausalCallback cb) {
+  ReadRequest req;
+  req.mode = ReadMode::kLatest;
+  req.key = key;
+  req.causal = true;
+  const TraceContext root =
+      begin_trace("client.get_causal", TraceStage::kService);
+  const SimTime started = now();
+  do_read(std::move(req), 0, op_deadline(),
+          [this, root, started,
+           cb = std::move(cb)](const Result<ReadReply>& rep) {
+            metrics_.histogram("client.read_latency_us")
+                .record(now() - started, root.trace_id);
+            end_span(root.span_id,
+                     std::string(to_string(rep.ok() ? rep->status
+                                                    : rep.status().code())));
+            if (!rep.ok()) {
+              cb(rep.status());
+              return;
+            }
+            if (rep->status != StatusCode::kOk || !rep->has_causal) {
+              cb(Status(rep->status == StatusCode::kOk
+                            ? StatusCode::kNotFound
+                            : rep->status));
+              return;
+            }
+            CausalRead out;
+            out.siblings = rep->causal.siblings;
+            out.ctx = rep->causal.clock;
+            out.stale = rep->stale;
+            if (out.siblings.size() > 1) {
+              metrics_.counter("client.sibling_reads").add(1);
+            }
+            cb(out);
+          });
+}
+
+store::Sibling SednaClient::resolve(const CausalRead& read) {
+  if (read.siblings.empty()) return {};
+  if (read.siblings.size() > 1) {
+    metrics_.counter("client.conflicts_resolved").add(1);
+    if (resolver_) {
+      const std::size_t idx = resolver_(read.siblings);
+      return read.siblings[idx % read.siblings.size()];
+    }
+  }
+  // Default LWW resolver: the record's deterministic winner.
+  store::CausalRecord rec;
+  rec.siblings = read.siblings;
+  const store::Sibling* w = rec.winner();
+  return w != nullptr ? *w : store::Sibling{};
 }
 
 void SednaClient::write_latest(const std::string& key,

@@ -81,6 +81,44 @@ class SednaClient : public sim::Host {
   void start(ReadyCallback on_ready);
   [[nodiscard]] bool ready() const { return ready_; }
 
+  // ---- causal versioning (DVV) ------------------------------------------
+
+  /// One causal read: the concurrent sibling frontier (one entry when the
+  /// key is conflict-free) plus the read context to thread into the next
+  /// put_causal so it supersedes everything this read saw.
+  struct CausalRead {
+    std::vector<store::Sibling> siblings;
+    store::VersionVector ctx;
+    bool stale = false;
+  };
+  using GetCausalCallback = std::function<void(const Result<CausalRead>&)>;
+  /// put_causal outcome: status + the post-write clock (the caller's next
+  /// write context; empty on failure).
+  using PutCausalCallback =
+      std::function<void(const Status&, const store::VersionVector&)>;
+  /// Picks the index of the winning sibling from a conflict set (size
+  /// >= 2). Unset = the default LWW resolver, which orders by
+  /// (ts, value hash, value, dot) — byte-identical behavior to the
+  /// timestamp path for every existing workload.
+  using ConflictResolver =
+      std::function<std::size_t(const std::vector<store::Sibling>&)>;
+
+  /// Causal put: `ctx` is the clock from the caller's last get_causal of
+  /// this key (empty for a blind put). The coordinator prunes the
+  /// siblings the context covers and mints a fresh dot, so two writers
+  /// racing from the same context produce two siblings — neither is lost.
+  void put_causal(const std::string& key, const std::string& value,
+                  const store::VersionVector& ctx, PutCausalCallback cb);
+  /// Causal get: quorum-joined record as sibling list + read context.
+  void get_causal(const std::string& key, GetCausalCallback cb);
+  /// Applies the configured conflict resolver to a sibling read; counts
+  /// client.conflicts_resolved when the set held real concurrency.
+  /// Returns a default-constructed Sibling on an empty set.
+  [[nodiscard]] store::Sibling resolve(const CausalRead& read);
+  void set_conflict_resolver(ConflictResolver r) {
+    resolver_ = std::move(r);
+  }
+
   void write_latest(const std::string& key, const std::string& value,
                     WriteCallback cb);
   /// write_latest with a relative expiry (microseconds; 0 = never):
@@ -138,6 +176,10 @@ class SednaClient : public sim::Host {
 
   void do_write(WriteRequest req, int attempt, SimTime deadline,
                 WriteCallback cb);
+  /// Full-reply variant of do_write (same retry machinery): causal puts
+  /// need the trailing context section, not just the status.
+  void do_write_full(WriteRequest req, int attempt, SimTime deadline,
+                     std::function<void(const Result<WriteReply>&)> cb);
   void do_read(ReadRequest req, int attempt, SimTime deadline,
                std::function<void(const Result<ReadReply>&)> cb);
 
@@ -171,6 +213,8 @@ class SednaClient : public sim::Host {
   /// Retry-budget token bucket; starts full so a cold client can still
   /// ride out an unlucky first op.
   double retry_tokens_ = 0.0;
+  /// Sibling conflict resolver; empty = default LWW winner.
+  ConflictResolver resolver_;
 };
 
 }  // namespace sedna::cluster

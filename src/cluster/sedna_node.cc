@@ -542,7 +542,17 @@ StatusCode SednaNode::apply_write(const WriteRequest& req) {
     vnode_status_[v].capacity_bytes += req.key.size() + req.value.size();
   }
   Status st;
-  if (req.mode == WriteMode::kLatest) {
+  if (req.causal_tag == WriteRequest::kCausalRecord) {
+    // Replica-side causal apply: a semilattice join with the pushed
+    // record. The WAL logs the *incoming* record only when the join moved
+    // local state — replay re-joins the same records, so recovery cannot
+    // lose siblings that were acked.
+    bool changed = false;
+    st = store_->merge_causal(req.key, req.record, &changed);
+    if (st.ok() && changed && persistence_ != nullptr) {
+      persistence_->on_write_causal(req.key, req.record);
+    }
+  } else if (req.mode == WriteMode::kLatest) {
     st = store_->write_latest(req.key, req.value, req.ts, req.flags,
                               req.ttl);
     if (st.ok() && persistence_ != nullptr) {
@@ -567,7 +577,15 @@ ReadReply SednaNode::local_read(const ReadRequest& req) {
     ++vnode_status_[v].reads;
   }
   ReadReply rep;
-  if (req.mode == ReadMode::kLatest) {
+  if (req.causal) {
+    auto got = store_->read_causal(req.key);
+    if (got.ok()) {
+      rep.has_causal = true;
+      rep.causal = std::move(got).value();
+    } else {
+      rep.status = got.status().code();
+    }
+  } else if (req.mode == ReadMode::kLatest) {
     auto got = store_->read_latest(req.key);
     if (got.ok()) {
       rep.has_latest = true;
@@ -631,6 +649,32 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
   if (req.ts == 0) req.ts = next_ts();
   if (req.source == kInvalidNode) req.source = msg.from;
 
+  // Causal put: the coordinator mints the dot locally *first* — pruning
+  // the siblings covered by the client's read context and appending the
+  // new value — then fans out the full post-update record, so replicas
+  // join states instead of racing on timestamps. The local apply in the
+  // fan-out loop below sees the rewritten record and is an idempotent
+  // no-op join that still counts as this replica's ack.
+  const bool causal_put = req.causal_tag == WriteRequest::kCausalCtx;
+  store::VersionVector causal_clock;
+  if (causal_put) {
+    auto minted = store_->write_causal(req.key, req.ctx, req.value, req.ts,
+                                       req.flags, id());
+    if (!minted.ok()) {
+      WriteReply rep;
+      rep.status = StatusCode::kFailure;
+      reply(msg, rep.encode());
+      return;
+    }
+    if (persistence_ != nullptr) {
+      persistence_->on_write_causal(req.key, minted.value());
+    }
+    causal_clock = minted.value().clock;
+    req.causal_tag = WriteRequest::kCausalRecord;
+    req.record = std::move(minted).value();
+    req.ctx = {};
+  }
+
   const VnodeId vnode = metadata_.table().vnode_for_key(req.key);
   const auto replicas = metadata_.table().replicas_for_vnode(vnode);
   const auto cfg = metadata_.config();
@@ -653,11 +697,16 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
   const auto total = static_cast<std::uint32_t>(replicas.size());
 
   auto settle = [this, state, origin, cfg, total, started, vnode, trace,
-                 coord_span, key = req.key]() {
+                 coord_span, key = req.key, causal_put, causal_clock]() {
     if (state->replied) return;
     WriteReply rep;
     if (state->acks >= cfg.write_quorum) {
       rep.status = StatusCode::kOk;
+      if (causal_put) {
+        // Hand the post-write clock back as the client's next context.
+        rep.has_ctx = true;
+        rep.ctx = causal_clock;
+      }
     } else if (state->responses < total) {
       return;  // still waiting and quorum still possible
     } else if (state->outdated > 0) {
@@ -763,6 +812,10 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
     /// replicas whose replies arrive after the quorum settled.
     bool has_answer = false;
     store::VersionedValue answer;
+    /// Joined record returned to the client (causal mode), for repairing
+    /// divergent replicas — including late arrivals.
+    bool has_causal_answer = false;
+    store::CausalRecord merged;
   };
   auto state = std::make_shared<ReadState>();
   const sim::Message origin = msg;
@@ -771,6 +824,53 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
   auto settle = [this, state, origin, cfg, total, started, trace, coord_span,
                  req]() {
     if (state->replied) return;
+
+    if (req.causal) {
+      // Causal quorum read: R *positive* replies settle (the same
+      // positive-only rule as the LWW path — a fresh replica-set member
+      // legitimately lacks the key). The answer is the semilattice join
+      // of every record in hand: with R+W > N the R positives intersect
+      // every write quorum, so the join covers every acked write —
+      // concurrent writes surface as siblings instead of one silently
+      // shadowing the other.
+      std::uint32_t positives = 0;
+      for (const auto& [node, rep] : state->replies) {
+        if (rep.has_causal) ++positives;
+      }
+      if (positives < cfg.read_quorum && state->responses < total) return;
+      state->replied = true;
+      metrics_.histogram("coordinator.read_latency_us")
+          .record(now() - started, trace);
+      ReadReply out;
+      store::CausalRecord merged;
+      for (const auto& [node, rep] : state->replies) {
+        if (rep.has_causal) merged.merge(rep.causal);
+      }
+      if (!merged.empty()) {
+        out.status = StatusCode::kOk;
+        out.has_causal = true;
+        out.causal = merged;
+        if (positives < cfg.read_quorum) out.stale = true;
+        state->has_causal_answer = true;
+        state->merged = merged;
+        // Repair replicas whose record is missing or diverged: push the
+        // join, which each replica folds in idempotently.
+        std::vector<NodeId> stale;
+        for (const auto& [node, rep] : state->replies) {
+          if (!rep.has_causal || !(rep.causal == merged)) {
+            stale.push_back(node);
+          }
+        }
+        if (!stale.empty()) read_repair_causal(req.key, merged, stale);
+      } else if (state->failures > 0) {
+        out.status = StatusCode::kFailure;
+      } else {
+        out.status = StatusCode::kNotFound;
+      }
+      end_span(coord_span, std::string(to_string(out.status)));
+      reply(origin, out.encode());
+      return;
+    }
 
     if (req.mode == ReadMode::kLatest) {
       // Quorum rule (Section III.C): R replies carrying the *same
@@ -953,6 +1053,11 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
                    rep->latest.ts < state->answer.ts)) {
                 read_repair(key, state->answer, {replica});
               }
+              if (state->replied && state->has_causal_answer &&
+                  (!rep->has_causal ||
+                   !(rep->causal == state->merged))) {
+                read_repair_causal(key, state->merged, {replica});
+              }
               state->replies.emplace_back(replica, std::move(rep).value());
             } else {
               ++state->failures;
@@ -979,6 +1084,33 @@ void SednaNode::read_repair(const std::string& key,
   req.value = fresh.value;
   req.ts = fresh.ts;
   req.flags = fresh.flags;
+  const std::string payload = req.encode();
+  auto remaining = std::make_shared<std::size_t>(stale.size());
+  for (NodeId node : stale) {
+    if (node == id()) {
+      apply_write(req);
+      if (--*remaining == 0) end_span(span);
+    } else {
+      call(node, kMsgReplicaWrite, payload,
+           [this, span, remaining](const Status&, const std::string&) {
+             if (--*remaining == 0) end_span(span);
+           });
+    }
+  }
+  set_trace_context(prev);
+}
+
+void SednaNode::read_repair_causal(const std::string& key,
+                                   const store::CausalRecord& fresh,
+                                   const std::vector<NodeId>& stale) {
+  metrics_.counter("coordinator.read_repairs").add(1);
+  const SpanId span = begin_span("coord.read_repair", TraceStage::kRepair);
+  const TraceContext prev = enter_span(span);
+  WriteRequest req;
+  req.mode = WriteMode::kLatest;
+  req.key = key;
+  req.causal_tag = WriteRequest::kCausalRecord;
+  req.record = fresh;
   const std::string payload = req.encode();
   auto remaining = std::make_shared<std::size_t>(stale.size());
   for (NodeId node : stale) {
@@ -1268,6 +1400,7 @@ void SednaNode::handle_fetch_vnode(const sim::Message& msg) {
         out.has_latest = item.has_latest;
         out.latest = item.latest;
         out.value_list = item.value_list;
+        out.causal = item.causal;
         rep.items.push_back(std::move(out));
       });
   metrics_.counter("transfer.vnodes_served").add(1);
@@ -1386,7 +1519,15 @@ void SednaNode::fetch_vnode_from(VnodeId vnode, std::vector<NodeId> sources,
            bytes += item.key.size();
            if (item.has_latest) bytes += item.latest.value.size();
            for (const auto& sv : item.value_list) bytes += sv.value.size();
-           if (item.has_latest) {
+           if (!item.causal.empty()) {
+             // Causal item: join the record; the LWW mirror refreshes
+             // from the winner, so no separate kLatest apply is needed.
+             bool changed = false;
+             store_->merge_causal(item.key, item.causal, &changed);
+             if (changed && persistence_ != nullptr) {
+               persistence_->on_write_causal(item.key, item.causal);
+             }
+           } else if (item.has_latest) {
              WriteRequest w;
              w.mode = WriteMode::kLatest;
              w.key = item.key;
@@ -1417,8 +1558,10 @@ void SednaNode::fetch_vnode_from(VnodeId vnode, std::vector<NodeId> sources,
 namespace {
 
 /// Hints for the same (mode, key[, source]) coalesce: only the newest
-/// version needs replaying under LWW.
+/// version needs replaying under LWW, and causal records coalesce by
+/// joining (the join carries every queued write's dot).
 std::string hint_dedupe_key(const WriteRequest& req) {
+  if (req.causal_tag == WriteRequest::kCausalRecord) return "C:" + req.key;
   if (req.mode == WriteMode::kLatest) return "L:" + req.key;
   return "A:" + std::to_string(req.source) + ":" + req.key;
 }
@@ -1433,7 +1576,13 @@ void SednaNode::queue_hint(NodeId target, const WriteRequest& req) {
     if (it != q.hints.end()) {
       // Coalesce: keep the newest write, but the original queue position
       // (age for eviction is the age of the oldest un-replayed miss).
-      if (req.ts > it->second.write.ts) it->second.write = req;
+      // Causal hints coalesce by joining records — a timestamp compare
+      // could drop one of two concurrent writes.
+      if (req.causal_tag == WriteRequest::kCausalRecord) {
+        it->second.write.record.merge(req.record);
+      } else if (req.ts > it->second.write.ts) {
+        it->second.write = req;
+      }
       return;
     }
   }
@@ -1709,6 +1858,8 @@ void SednaNode::reconcile_with_peer(VnodeId vnode, NodeId peer,
     store::VersionedValue latest;
     std::vector<store::SourceValue> list;
     std::uint64_t list_digest = 0;
+    store::CausalRecord causal;
+    std::uint64_t causal_digest = 0;
   };
   std::set<std::uint32_t> mismatched(rep.mismatched.begin(),
                                      rep.mismatched.end());
@@ -1727,6 +1878,10 @@ void SednaNode::reconcile_with_peer(VnodeId vnode, NodeId peer,
         lk.latest = item.latest;
         lk.list = item.value_list;
         lk.list_digest = store::LocalStore::value_list_digest(item.value_list);
+        if (!item.causal.empty()) {
+          lk.causal = item.causal;
+          lk.causal_digest = item.causal.digest();
+        }
         local.emplace(item.key, std::move(lk));
       });
 
@@ -1734,28 +1889,53 @@ void SednaNode::reconcile_with_peer(VnodeId vnode, NodeId peer,
   // newer; a value-list digest mismatch reconciles both directions (the
   // per-source LWW merge makes the union converge).
   std::vector<WriteRequest> pushes;
-  std::vector<std::pair<std::string, bool>> pulls;  // key, pull list too
+  // key, pull value list, pull causal record
+  std::vector<std::tuple<std::string, bool, bool>> pulls;
   std::set<std::string> peer_keys;
   for (const KeySummary& ks : rep.keys) {
     peer_keys.insert(ks.key);
     const auto it = local.find(ks.key);
-    const bool local_has = it != local.end() && it->second.has_latest;
-    const Timestamp local_ts = local_has ? it->second.latest.ts : 0;
+    const std::uint64_t local_causal =
+        it == local.end() ? 0 : it->second.causal_digest;
+    const bool causal_key = local_causal != 0 || ks.causal_digest != 0;
     const std::uint64_t local_list =
         it == local.end() ? 0 : it->second.list_digest;
     const bool list_diff = local_list != ks.list_digest;
-    if ((ks.has_latest && (!local_has || local_ts < ks.latest_ts)) ||
-        list_diff) {
-      pulls.emplace_back(ks.key, list_diff);
-    }
-    if (local_has && (!ks.has_latest || ks.latest_ts < local_ts)) {
-      WriteRequest w;
-      w.mode = WriteMode::kLatest;
-      w.key = ks.key;
-      w.value = it->second.latest.value;
-      w.ts = it->second.latest.ts;
-      w.flags = it->second.latest.flags;
-      pushes.push_back(std::move(w));
+    if (causal_key) {
+      // Causal keys reconcile by exchanging records: timestamp ordering
+      // cannot rank concurrent siblings, but the semilattice join
+      // converges from both directions. Equal digests mean converged.
+      const bool causal_diff = local_causal != ks.causal_digest;
+      if (causal_diff) {
+        if (local_causal != 0) {
+          WriteRequest w;
+          w.key = ks.key;
+          w.causal_tag = WriteRequest::kCausalRecord;
+          w.record = it->second.causal;
+          pushes.push_back(std::move(w));
+        }
+        if (ks.causal_digest != 0) {
+          pulls.emplace_back(ks.key, list_diff, true);
+        }
+      } else if (list_diff) {
+        pulls.emplace_back(ks.key, true, false);
+      }
+    } else {
+      const bool local_has = it != local.end() && it->second.has_latest;
+      const Timestamp local_ts = local_has ? it->second.latest.ts : 0;
+      if ((ks.has_latest && (!local_has || local_ts < ks.latest_ts)) ||
+          list_diff) {
+        pulls.emplace_back(ks.key, list_diff, false);
+      }
+      if (local_has && (!ks.has_latest || ks.latest_ts < local_ts)) {
+        WriteRequest w;
+        w.mode = WriteMode::kLatest;
+        w.key = ks.key;
+        w.value = it->second.latest.value;
+        w.ts = it->second.latest.ts;
+        w.flags = it->second.latest.flags;
+        pushes.push_back(std::move(w));
+      }
     }
     if (list_diff && it != local.end()) {
       for (const auto& sv : it->second.list) {
@@ -1775,7 +1955,15 @@ void SednaNode::reconcile_with_peer(VnodeId vnode, NodeId peer,
   if (!rep.truncated) {
     for (const auto& [key, lk] : local) {
       if (peer_keys.contains(key)) continue;
-      if (lk.has_latest) {
+      if (lk.causal_digest != 0) {
+        // Missing causal key: push the whole record (subsumes the
+        // mirror, which the peer rebuilds from the winner).
+        WriteRequest w;
+        w.key = key;
+        w.causal_tag = WriteRequest::kCausalRecord;
+        w.record = lk.causal;
+        pushes.push_back(std::move(w));
+      } else if (lk.has_latest) {
         WriteRequest w;
         w.mode = WriteMode::kLatest;
         w.key = key;
@@ -1812,25 +2000,37 @@ void SednaNode::reconcile_with_peer(VnodeId vnode, NodeId peer,
     call(peer, kMsgReplicaWrite, w.encode(),
          [finish](const Status&, const std::string&) { finish(); });
   }
-  for (const auto& [key, want_list] : pulls) {
+  for (const auto& [key, want_list, want_causal] : pulls) {
     ++*outstanding;
-    pull_key(peer, key, want_list, finish);
+    pull_key(peer, key, want_list, want_causal, finish);
   }
   set_trace_context(prev);
   finish();  // releases the +1 guard
 }
 
 void SednaNode::pull_key(NodeId peer, const std::string& key, bool want_list,
-                         std::function<void()> done) {
+                         bool want_causal, std::function<void()> done) {
   ReadRequest latest_req;
   latest_req.mode = ReadMode::kLatest;
   latest_req.key = key;
+  latest_req.causal = want_causal;
   call(peer, kMsgReplicaRead, latest_req.encode(),
-       [this, peer, key, want_list, done = std::move(done)](
+       [this, peer, key, want_list, want_causal, done = std::move(done)](
            const Status& st, const std::string& body) {
          if (st.ok()) {
            auto rep = ReadReply::decode(body);
-           if (rep.ok() && rep->has_latest) {
+           if (want_causal) {
+             if (rep.ok() && rep->has_causal) {
+               bool changed = false;
+               store_->merge_causal(key, rep->causal, &changed);
+               if (changed) {
+                 if (persistence_ != nullptr) {
+                   persistence_->on_write_causal(key, rep->causal);
+                 }
+                 metrics_.counter("antientropy.keys_pulled").add(1);
+               }
+             }
+           } else if (rep.ok() && rep->has_latest) {
              WriteRequest w;
              w.mode = WriteMode::kLatest;
              w.key = key;
@@ -2181,6 +2381,7 @@ void SednaNode::migration_catchup(VnodeId vnode, NodeId from,
       bool has_latest = false;
       Timestamp ts = 0;
       std::uint64_t list_digest = 0;
+      std::uint64_t causal_digest = 0;
     };
     std::set<std::uint32_t> mismatched(rep->mismatched.begin(),
                                        rep->mismatched.end());
@@ -2197,19 +2398,33 @@ void SednaNode::migration_catchup(VnodeId vnode, NodeId from,
           local.emplace(
               item.key,
               LocalKey{item.has_latest, item.has_latest ? item.latest.ts : 0,
-                       store::LocalStore::value_list_digest(item.value_list)});
+                       store::LocalStore::value_list_digest(item.value_list),
+                       item.causal.empty() ? 0 : item.causal.digest()});
         });
-    std::vector<std::pair<std::string, bool>> pulls;  // key, pull list too
+    // key, pull value list, pull causal record
+    std::vector<std::tuple<std::string, bool, bool>> pulls;
     for (const KeySummary& ks : rep->keys) {
       const auto it = local.find(ks.key);
-      const bool local_has = it != local.end() && it->second.has_latest;
-      const Timestamp local_ts = local_has ? it->second.ts : 0;
+      const std::uint64_t local_causal =
+          it == local.end() ? 0 : it->second.causal_digest;
       const std::uint64_t local_list =
           it == local.end() ? 0 : it->second.list_digest;
       const bool list_diff = local_list != ks.list_digest;
+      if (ks.causal_digest != 0 || local_causal != 0) {
+        // Causal key: pull the peer's record when the digests differ —
+        // the local join absorbs it without ranking siblings.
+        if (ks.causal_digest != 0 && ks.causal_digest != local_causal) {
+          pulls.emplace_back(ks.key, list_diff, true);
+        } else if (list_diff) {
+          pulls.emplace_back(ks.key, true, false);
+        }
+        continue;
+      }
+      const bool local_has = it != local.end() && it->second.has_latest;
+      const Timestamp local_ts = local_has ? it->second.ts : 0;
       if ((ks.has_latest && (!local_has || local_ts < ks.latest_ts)) ||
           list_diff) {
-        pulls.emplace_back(ks.key, list_diff);
+        pulls.emplace_back(ks.key, list_diff, false);
       }
     }
     metrics_.counter("rebalance.catchup_keys").add(pulls.size());
@@ -2218,9 +2433,9 @@ void SednaNode::migration_catchup(VnodeId vnode, NodeId from,
     auto finish = [outstanding, pulled, done = std::move(done)] {
       if (--*outstanding == 0) done(true, pulled);
     };
-    for (const auto& [key, want_list] : pulls) {
+    for (const auto& [key, want_list, want_causal] : pulls) {
       ++*outstanding;
-      pull_key(from, key, want_list, finish);
+      pull_key(from, key, want_list, want_causal, finish);
     }
     finish();  // releases the +1 guard
   });
@@ -2272,6 +2487,7 @@ void SednaNode::handle_vnode_digest(const sim::Message& msg) {
         ks.has_latest = item.has_latest;
         ks.latest_ts = item.has_latest ? item.latest.ts : 0;
         ks.list_digest = store::LocalStore::value_list_digest(item.value_list);
+        if (!item.causal.empty()) ks.causal_digest = item.causal.digest();
         rep.keys.push_back(std::move(ks));
       });
   instant_span("antientropy.digest_mismatch", "ok", TraceStage::kRepair);

@@ -249,6 +249,12 @@ class SednaNode : public sim::Host {
   void read_repair(const std::string& key,
                    const store::VersionedValue& fresh,
                    const std::vector<NodeId>& stale);
+  /// Causal variant: pushes the joined record — replicas fold it in with
+  /// a semilattice merge, so repair can never clobber a concurrent write
+  /// the way a timestamp overwrite could.
+  void read_repair_causal(const std::string& key,
+                          const store::CausalRecord& fresh,
+                          const std::vector<NodeId>& stale);
 
   /// Join: claim the vnodes in `moves` with bounded parallelism.
   void claim_vnodes(std::vector<ring::VnodeMove> moves, std::size_t next,
@@ -310,7 +316,7 @@ class SednaNode : public sim::Host {
                            const VnodeDigestReply& rep,
                            std::function<void()> done);
   void pull_key(NodeId peer, const std::string& key, bool want_list,
-                std::function<void()> done);
+                bool want_causal, std::function<void()> done);
 
   /// Rebalance daemon: runs on the lowest-id live node only.
   void rebalance_tick();

@@ -71,6 +71,8 @@ class BinaryReader {
   explicit BinaryReader(std::string_view data) : data_(data) {}
 
   [[nodiscard]] bool failed() const { return failed_; }
+  /// Lets a decoder reject semantically invalid (not just truncated) data.
+  void mark_failed() { failed_ = true; }
   [[nodiscard]] bool exhausted() const { return pos_ >= data_.size(); }
   [[nodiscard]] std::size_t remaining() const {
     return failed_ ? 0 : data_.size() - pos_;

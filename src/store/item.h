@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "store/dvv.h"
 
 namespace sedna::store {
 
@@ -48,6 +49,12 @@ struct Item {
 
   std::vector<SourceValue> value_list;
 
+  /// Causal versioning state (dotted version vector + sibling values),
+  /// populated only for keys written through the causal API. `latest`
+  /// mirrors the record's LWW-winning sibling so legacy reads, scans and
+  /// digest walks keep working on causal keys.
+  CausalRecord causal;
+
   /// Absolute expiry time (same clock as the store's ClockFn); 0 = never.
   std::uint64_t expires_at = 0;
 
@@ -69,6 +76,7 @@ struct Item {
   [[nodiscard]] std::size_t value_bytes() const {
     std::size_t n = has_latest ? latest.value.size() : 0;
     for (const auto& sv : value_list) n += sv.value.size() + sizeof(SourceValue);
+    n += causal.bytes();
     return n;
   }
 

@@ -17,6 +17,38 @@ std::size_t round_up_pow2(std::size_t v) {
   return p;
 }
 
+/// Deterministic equal-timestamp tie-break: higher value hash wins, then
+/// the lexicographically larger value. Writer identity is not carried on
+/// every replication path (read repair, pulls, transfers), so the value
+/// itself is the only tie-break input all replicas are guaranteed to
+/// share — what matters is that *arrival order never decides*, or
+/// replicas that saw two equal-ts writes in different orders would
+/// permanently diverge.
+bool value_wins_tie(std::string_view incoming, std::string_view stored) {
+  const std::uint64_t ih = fnv1a64(incoming);
+  const std::uint64_t sh = fnv1a64(stored);
+  if (ih != sh) return ih > sh;
+  return incoming > stored;
+}
+
+/// Siblings beyond the first on a causal item: the store-wide sum is the
+/// `store.siblings` conflict gauge (0 while no true conflicts are
+/// retained).
+std::uint64_t sibling_excess(const Item& it) {
+  const std::size_t n = it.causal.siblings.size();
+  return n > 1 ? n - 1 : 0;
+}
+
+/// Points the item's LWW mirror at the causal record's deterministic
+/// winner so legacy reads/scans/digests see causal keys.
+void refresh_causal_mirror(Item& it) {
+  const Sibling* w = it.causal.winner();
+  if (w != nullptr) {
+    it.latest = VersionedValue{w->value, w->ts, w->flags};
+    it.has_latest = true;
+  }
+}
+
 }  // namespace
 
 /// Store-wide Merkle leaf cells: vnodes × buckets 64-bit accumulators.
@@ -179,6 +211,7 @@ struct LocalStore::Shard {
     unlink_from_bucket(it, bucket_hash(it->key));
     lru_unlink(it);
     account_remove(it);
+    stats.siblings -= sibling_excess(*it);
     --item_count;
     delete it;
   }
@@ -330,8 +363,12 @@ Status LocalStore::write_latest(std::string_view key, std::string_view value,
     if (it->latest.ts == ts && it->latest.value == value) {
       return Status::Ok();
     }
-    ++s.stats.set_outdated;
-    return Status::Outdated();
+    // Equal timestamps from different writers resolve by the
+    // deterministic value tie-break, never by arrival order.
+    if (it->latest.ts > ts || !value_wins_tie(value, it->latest.value)) {
+      ++s.stats.set_outdated;
+      return Status::Outdated();
+    }
   }
 
   const bool capture = s.should_capture(*it);
@@ -368,8 +405,11 @@ Status LocalStore::write_all(std::string_view key, NodeId source,
     if (elem->ts == ts && elem->value == value) {
       return Status::Ok();  // idempotent replay (see write_latest)
     }
-    ++s.stats.set_outdated;
-    return Status::Outdated();
+    // Same deterministic equal-ts tie-break as write_latest.
+    if (elem->ts > ts || !value_wins_tie(value, elem->value)) {
+      ++s.stats.set_outdated;
+      return Status::Outdated();
+    }
   }
 
   const bool capture = s.should_capture(*it);
@@ -414,6 +454,90 @@ Result<std::vector<SourceValue>> LocalStore::read_all(std::string_view key) {
   s.lru_touch(it);
   ++s.stats.get_hits;
   return it->value_list;
+}
+
+Result<CausalRecord> LocalStore::write_causal(std::string_view key,
+                                              const VersionVector& ctx,
+                                              std::string_view value,
+                                              Timestamp ts,
+                                              std::uint32_t flags,
+                                              NodeId coordinator) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  const std::uint64_t now = clock_now();
+  const std::uint64_t h = bucket_hash(key);
+  Item* it = s.find_live(key, h, now);
+  if (it == nullptr) it = s.insert_new(key, h);
+
+  const bool capture = s.should_capture(*it);
+  const bool had_old = it->has_latest;
+  VersionedValue old_val = capture && had_old ? it->latest : VersionedValue{};
+
+  const std::size_t old_total = it->total_bytes();
+  const std::uint64_t old_digest = s.pre_digest(*it);
+  const std::uint64_t old_excess = sibling_excess(*it);
+  it->causal.update(ctx, std::string(value), ts, flags, coordinator);
+  refresh_causal_mirror(*it);
+  ++it->cas;
+  s.stats.siblings += sibling_excess(*it);
+  s.stats.siblings -= old_excess;
+  s.reaccount(old_total, old_digest, it);
+  s.lru_touch(it);
+  ++s.stats.sets;
+  if (capture) s.record_change(*it, had_old, std::move(old_val), false);
+  s.evict_to_budget();
+  return it->causal;
+}
+
+Status LocalStore::merge_causal(std::string_view key,
+                                const CausalRecord& incoming,
+                                bool* changed_out) {
+  if (changed_out != nullptr) *changed_out = false;
+  if (incoming.empty()) return Status::Ok();
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  const std::uint64_t now = clock_now();
+  const std::uint64_t h = bucket_hash(key);
+  Item* it = s.find_live(key, h, now);
+  if (it == nullptr) it = s.insert_new(key, h);
+
+  const bool capture = s.should_capture(*it);
+  const bool had_old = it->has_latest;
+  VersionedValue old_val = capture && had_old ? it->latest : VersionedValue{};
+
+  const std::size_t old_total = it->total_bytes();
+  const std::uint64_t old_digest = s.pre_digest(*it);
+  const std::uint64_t old_excess = sibling_excess(*it);
+  if (!it->causal.merge(incoming)) {
+    // Idempotent re-delivery (retries, hint replay, anti-entropy pushes):
+    // nothing moved, charge nothing.
+    return Status::Ok();
+  }
+  ++s.stats.dvv_merges;
+  refresh_causal_mirror(*it);
+  ++it->cas;
+  s.stats.siblings += sibling_excess(*it);
+  s.stats.siblings -= old_excess;
+  s.reaccount(old_total, old_digest, it);
+  s.lru_touch(it);
+  ++s.stats.sets;
+  if (capture) s.record_change(*it, had_old, std::move(old_val), false);
+  s.evict_to_budget();
+  if (changed_out != nullptr) *changed_out = true;
+  return Status::Ok();
+}
+
+Result<CausalRecord> LocalStore::read_causal(std::string_view key) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  Item* it = s.find_live(key, bucket_hash(key), clock_now());
+  if (it == nullptr || it->causal.empty()) {
+    ++s.stats.get_misses;
+    return Status::NotFound();
+  }
+  s.lru_touch(it);
+  ++s.stats.get_hits;
+  return it->causal;
 }
 
 Status LocalStore::set(std::string_view key, std::string_view value,
@@ -748,6 +872,7 @@ void LocalStore::clear() {
     }
     s->item_count = 0;
     s->bytes = 0;
+    s->stats.siblings = 0;  // clear() bypasses Shard::erase
     s->lru_head = s->lru_tail = nullptr;
     s->dirty.clear();
     s->slabs = SlabAccounting{};
@@ -848,7 +973,11 @@ std::uint64_t LocalStore::item_digest(const Item& it) {
     d = hash_combine(d, it.latest.ts);
     d = hash_combine(d, it.latest.flags);
   }
-  return hash_combine(d, value_list_digest(it.value_list));
+  d = hash_combine(d, value_list_digest(it.value_list));
+  // Causal record folded only when present, so purely-LWW content keeps
+  // its pre-causal digests (anti-entropy stays byte-compatible).
+  if (!it.causal.empty()) d = hash_combine(d, it.causal.digest());
+  return d;
 }
 
 std::uint64_t LocalStore::value_list_digest(

@@ -88,6 +88,33 @@ class LocalStore {
   [[nodiscard]] Result<std::vector<SourceValue>> read_all(
       std::string_view key);
 
+  // ---- causal versioning (DVV) ------------------------------------------
+  //
+  // The causal alternative to write_latest's timestamp LWW: per-key dotted
+  // version vectors with sibling retention (store/dvv.h). A causal item
+  // keeps its LWW `latest` mirror pointing at the record's deterministic
+  // winner, so legacy reads, scans, snapshots and Merkle digests keep
+  // working on causally-written keys.
+
+  /// Coordinator-side causal put: discards the siblings covered by the
+  /// client's read context `ctx`, mints a fresh dot under `coordinator`,
+  /// and appends the value (concurrent siblings survive). Returns the
+  /// resulting full record for replication to peers.
+  Result<CausalRecord> write_causal(std::string_view key,
+                                    const VersionVector& ctx,
+                                    std::string_view value, Timestamp ts,
+                                    std::uint32_t flags, NodeId coordinator);
+
+  /// Replica-side semilattice join with an incoming record. Idempotent:
+  /// re-delivery is a no-op. `changed_out` (optional) reports whether the
+  /// local record moved.
+  Status merge_causal(std::string_view key, const CausalRecord& incoming,
+                      bool* changed_out = nullptr);
+
+  /// Full causal record (clock + siblings) of a key; kNotFound when the
+  /// key is absent or was never causally written.
+  [[nodiscard]] Result<CausalRecord> read_causal(std::string_view key);
+
   // ---- memcached-compatible surface -------------------------------------
 
   /// Unconditional store; timestamp auto-assigned from the clock.

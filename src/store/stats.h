@@ -19,6 +19,8 @@ struct StoreStats {
   std::uint64_t total_items = 0;
   std::uint64_t bytes = 0;          // resident payload bytes
   std::uint64_t dirty_events = 0;   // change-capture records produced
+  std::uint64_t siblings = 0;       // concurrent values retained (gauge)
+  std::uint64_t dvv_merges = 0;     // causal record joins that changed state
 
   StoreStats& operator+=(const StoreStats& o) {
     get_hits += o.get_hits;
@@ -34,6 +36,8 @@ struct StoreStats {
     total_items += o.total_items;
     bytes += o.bytes;
     dirty_events += o.dirty_events;
+    siblings += o.siblings;
+    dvv_merges += o.dvv_merges;
     return *this;
   }
 };

@@ -63,6 +63,15 @@ Status PersistenceManager::on_write_all(std::string_view key, NodeId source,
   return append(rec);
 }
 
+Status PersistenceManager::on_write_causal(std::string_view key,
+                                           const store::CausalRecord& record) {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kWriteCausal;
+  rec.key.assign(key);
+  rec.value = record.encode_string();
+  return append(rec);
+}
+
 Status PersistenceManager::on_delete(std::string_view key) {
   WalRecord rec;
   rec.type = WalRecord::Type::kDelete;
@@ -103,6 +112,12 @@ Result<std::uint64_t> PersistenceManager::recover() {
             case WalRecord::Type::kDelete:
               store_.del(rec.key);
               break;
+            case WalRecord::Type::kWriteCausal: {
+              const auto record =
+                  store::CausalRecord::decode_string(rec.value);
+              if (!record.empty()) store_.merge_causal(rec.key, record);
+              break;
+            }
           }
         });
     if (!replayed.ok()) return replayed.status();

@@ -52,6 +52,10 @@ class PersistenceManager {
                          Timestamp ts, std::uint32_t flags);
   Status on_write_all(std::string_view key, NodeId source,
                       std::string_view value, Timestamp ts);
+  /// Logs the full post-merge causal record so replay is an idempotent
+  /// semilattice join (re-applying a prefix cannot lose siblings).
+  Status on_write_causal(std::string_view key,
+                         const store::CausalRecord& record);
   Status on_delete(std::string_view key);
 
   /// Writes a full snapshot; under kWal also truncates the log.

@@ -29,6 +29,9 @@ std::string encode_item(const store::Item& item) {
                  out.put_u64(sv.ts);
                });
   w.put_u64(item.expires_at);
+  // Trailing optional section: causal state, present only for keys that
+  // were causally written. Older snapshots simply end the frame here.
+  if (!item.causal.empty()) item.causal.encode(w);
   return std::move(w).take();
 }
 
@@ -131,6 +134,10 @@ Result<std::uint64_t> Snapshot::load(const std::string& path,
       // expiry. Restore is best-effort: an already-expired item simply
       // never resurfaces because the clock moved past expires_at.
       (void)expires_at;
+    }
+    if (!r.failed() && !r.exhausted()) {
+      const auto causal = store::CausalRecord::decode(r);
+      if (!r.failed() && !causal.empty()) store.merge_causal(key, causal);
     }
     if (r.failed()) break;
     ++restored;

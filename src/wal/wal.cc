@@ -32,7 +32,7 @@ Result<WalRecord> WalRecord::decode(std::string_view payload) {
     return Status::Corruption("bad wal record");
   }
   if (rec.type != Type::kWriteLatest && rec.type != Type::kWriteAll &&
-      rec.type != Type::kDelete) {
+      rec.type != Type::kDelete && rec.type != Type::kWriteCausal) {
     return Status::Corruption("unknown wal record type");
   }
   return rec;

@@ -23,6 +23,9 @@ struct WalRecord {
     kWriteLatest = 1,
     kWriteAll = 2,
     kDelete = 3,
+    /// Causal write: `value` holds the encoded CausalRecord (the full
+    /// post-merge state, so replay is an idempotent join).
+    kWriteCausal = 4,
   };
 
   Type type = Type::kWriteLatest;

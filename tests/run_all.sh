@@ -60,12 +60,14 @@ diff "${drill_tmp}/reb1/ablation_rebalance.csv" \
   || { echo "rebalance ablation CSV is not deterministic"; exit 1; }
 echo "rebalance ablation determinism gate: OK"
 
-# Overload scenario suite: runs the five open-loop chaos scenarios (flash
-# crowd, diurnal wave, rolling restart, zone partition, metastability
-# ablation) and exits non-zero unless every goodput/availability gate
-# passes. Two runs must also agree byte for byte — the overload defenses
-# (admission control, deadline sheds, retry budgets, degraded reads,
-# restart hydration) are all on the deterministic surface.
+# Chaos scenario suite: runs the six open-loop/chaos scenarios (flash
+# crowd, diurnal wave, rolling restart, zone partition, lost-update
+# LWW-vs-DVV ablation, metastability ablation) and exits non-zero unless
+# every gate passes — including the causal gate: LWW must lose acked
+# updates under partition+race and DVV must lose exactly zero. Two runs
+# must also agree byte for byte — the overload defenses and the whole
+# causal path (dot minting, sibling joins, causal repair/hints) are all
+# on the deterministic surface.
 for run in 1 2; do
   mkdir -p "${drill_tmp}/ss${run}"
   SEDNA_OUT_DIR="${drill_tmp}/ss${run}" \
@@ -79,7 +81,13 @@ diff "${drill_tmp}/ss1/scenario_suite.csv" \
 diff "${drill_tmp}/ss1/scenario_suite_metrics.prom" \
      "${drill_tmp}/ss2/scenario_suite_metrics.prom" \
   || { echo "scenario_suite metrics dump is not deterministic"; exit 1; }
-"${build_dir}/tests/promlint" "${drill_tmp}/ss1/scenario_suite_metrics.prom"
+diff "${drill_tmp}/ss1/ablation_dvv.csv" \
+     "${drill_tmp}/ss2/ablation_dvv.csv" \
+  || { echo "lost-update DVV ablation CSV is not deterministic"; exit 1; }
+# Both exposition dumps must lint: the overload cluster's and the causal
+# cluster's (the latter carries the new sibling/conflict families).
+"${build_dir}/tests/promlint" "${drill_tmp}/ss1/scenario_suite_metrics.prom" \
+                              "${drill_tmp}/ss1/ablation_dvv_metrics.prom"
 echo "scenario suite determinism gate: OK"
 
 "${repo_root}/tests/run_sanitized.sh" "$@"

@@ -31,10 +31,13 @@ drill_tmp="$(mktemp -d "${reb_tmp}/drill.XXXXXX")"
  "${build_dir}/examples/failure_drill" > /dev/null)
 echo "sanitized failure drill (attribution gates): OK"
 
-# One sanitized pass over the overload scenario suite: admission-control
-# sheds, deadline drops, retry-budget accounting, degraded reads and
-# restart hydration all run under ASan/UBSan, and the suite's own
-# goodput/availability gates must still pass (non-zero exit otherwise).
+# One sanitized pass over the chaos scenario suite: admission-control
+# sheds, deadline drops, retry-budget accounting, degraded reads,
+# restart hydration, and the whole causal-versioning path (dot minting,
+# sibling joins, causal read repair, causal hint replay) all run under
+# ASan/UBSan, and the suite's own gates must still pass — including the
+# lost-update ablation's "DVV loses zero acked updates" gate (non-zero
+# exit otherwise).
 ss_tmp="$(mktemp -d "${reb_tmp}/ss.XXXXXX")"
 SEDNA_OUT_DIR="${ss_tmp}" "${build_dir}/bench/scenario_suite" > /dev/null
 echo "sanitized scenario suite (overload gates): OK"

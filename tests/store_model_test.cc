@@ -6,6 +6,7 @@
 #include <map>
 #include <optional>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "store/local_store.h"
 
@@ -20,6 +21,17 @@ class OracleStore {
     std::map<NodeId, SourceValue> list;
   };
 
+  /// The store's deterministic equal-timestamp tie-break: higher value
+  /// hash wins, then the lexicographically larger value — never arrival
+  /// order (see value_wins_tie in store/local_store.cc).
+  static bool value_wins_tie(const std::string& incoming,
+                             const std::string& stored) {
+    const std::uint64_t ih = fnv1a64(incoming);
+    const std::uint64_t sh = fnv1a64(stored);
+    if (ih != sh) return ih > sh;
+    return incoming > stored;
+  }
+
   StatusCode write_latest(const std::string& key, const std::string& value,
                           Timestamp ts) {
     auto& e = entries_[key];
@@ -27,7 +39,9 @@ class OracleStore {
       if (e.latest->ts == ts && e.latest->value == value) {
         return StatusCode::kOk;  // idempotent replay
       }
-      return StatusCode::kOutdated;
+      if (e.latest->ts > ts || !value_wins_tie(value, e.latest->value)) {
+        return StatusCode::kOutdated;
+      }
     }
     e.latest = VersionedValue{value, ts, 0};
     return StatusCode::kOk;
@@ -41,7 +55,9 @@ class OracleStore {
       if (it->second.ts == ts && it->second.value == value) {
         return StatusCode::kOk;
       }
-      return StatusCode::kOutdated;
+      if (it->second.ts > ts || !value_wins_tie(value, it->second.value)) {
+        return StatusCode::kOutdated;
+      }
     }
     e.list[source] = SourceValue{source, value, ts};
     return StatusCode::kOk;

@@ -37,10 +37,20 @@ TEST(WriteLatest, OlderTimestampRejectedAsOutdated) {
   EXPECT_EQ(store.stats().set_outdated, 1u);
 }
 
-TEST(WriteLatest, EqualTimestampRejected) {
-  LocalStore store;
-  ASSERT_TRUE(store.write_latest("k", "a", 10).ok());
-  EXPECT_TRUE(store.write_latest("k", "b", 10).is(StatusCode::kOutdated));
+TEST(WriteLatest, EqualTimestampResolvesByValueTieBreakNotArrivalOrder) {
+  // Equal timestamps from different writers resolve by the deterministic
+  // value tie-break (hash, then value) — never by arrival order, or
+  // replicas seeing the two writes in different orders would diverge
+  // (tests/dvv_test.cc sweeps every delivery permutation).
+  LocalStore a, b;
+  ASSERT_TRUE(a.write_latest("k", "a", 10).ok());
+  const bool b_wins = a.write_latest("k", "b", 10).ok();
+  ASSERT_TRUE(b.write_latest("k", "b", 10).ok());
+  const bool a_wins = b.write_latest("k", "a", 10).ok();
+  EXPECT_NE(b_wins, a_wins);  // exactly one value wins the tie
+  EXPECT_EQ(a.read_latest("k")->value, b.read_latest("k")->value);
+  // The losing side of the tie is still a rejected conflict.
+  EXPECT_EQ(a.stats().set_outdated + b.stats().set_outdated, 1u);
 }
 
 TEST(ReadLatest, MissingKeyIsNotFound) {
