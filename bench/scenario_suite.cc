@@ -103,6 +103,16 @@ struct Harness {
     }
     return n;
   }
+
+  [[nodiscard]] std::uint64_t node_counter(const std::string& name) const {
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < cluster->data_node_count(); ++i) {
+      const auto& counters = cluster->node(i).metrics().counters();
+      const auto it = counters.find(name);
+      if (it != counters.end()) n += it->second.value();
+    }
+    return n;
+  }
 };
 
 Harness make_harness(std::uint64_t seed, Defenses defenses) {
@@ -115,6 +125,10 @@ Harness make_harness(std::uint64_t seed, Defenses defenses) {
   if (defenses.on) {
     cfg.node_template.host.max_ingress_queue = 96;
     cfg.node_template.degraded_reads = true;
+    // Consistency auditor rides along with the defended configuration:
+    // every stale serve carries a measured bound, and sampled acked
+    // writes get t-visibility probes.
+    cfg.node_template.audit.enabled = true;
     cfg.client_template.op_deadline_us = 90'000;
     // Refill 0.3: sustained retries up to ~30% of fresh traffic — enough
     // headroom to ride out a crashed primary (1/6 of ops need one retry)
@@ -364,6 +378,9 @@ void zone_partition(std::uint64_t seed) {
   std::printf("\n=== zone partition (seed %llu) ===\n",
               static_cast<unsigned long long>(seed));
   Harness h = make_harness(seed, Defenses{true});
+  MonitorConfig mc;
+  mc.sample_interval = sim_ms(100);
+  h.cluster->enable_monitor(mc);
 
   OpenLoopConfig cfg;
   cfg.curve = {{0, 4000}};
@@ -372,6 +389,24 @@ void zone_partition(std::uint64_t seed) {
   OpenLoopDriver reads(h.sim(), cfg, read_issue(h, kKeys));
   reads.start();
 
+  // Side stream of writes: the visibility probes sample *acked* writes,
+  // so the scenario needs a write population to audit. Kept out of the
+  // gated goodput stream — writes stranded away from a W-quorum during
+  // the partition legitimately fail.
+  OpenLoopConfig wcfg;
+  wcfg.curve = {{0, 400}};
+  wcfg.duration = sim_sec(6);
+  wcfg.window = kWindow;
+  OpenLoopDriver writes(
+      h.sim(), wcfg,
+      [&h](std::uint64_t seq, const std::function<void(bool)>& done) {
+        const std::size_t k = h.sim().rng().next_below(kKeys);
+        h.clients[seq % h.clients.size()]->write_latest(
+            key_for(k), std::string(20, 'w'),
+            [done](const Status& st) { done(st.ok()); });
+      });
+  writes.start();
+
   // Zone A = first half of the data nodes, zone B = second half. Only
   // data-node links are cut: clients and ZooKeeper see both zones, so
   // there is no lease churn — just coordinators stranded away from their
@@ -379,6 +414,9 @@ void zone_partition(std::uint64_t seed) {
   const std::vector<NodeId> ids = h.cluster->data_ids();
   const std::size_t half = ids.size() / 2;
   h.cluster->run_for(sim_sec(2));
+  h.cluster->flight_recorder().record(
+      h.sim().now(), "chaos", "bench", "partition",
+      "data-data links cut between zone halves");
   for (std::size_t a = 0; a < half; ++a) {
     for (std::size_t b = half; b < ids.size(); ++b) {
       h.cluster->network().partition(ids[a], ids[b]);
@@ -386,6 +424,9 @@ void zone_partition(std::uint64_t seed) {
   }
   h.cluster->run_for(sim_ms(2500));
   const std::uint64_t stale_during = h.client_counter("client.stale_reads");
+  const SimTime heal_time = h.sim().now();
+  h.cluster->flight_recorder().record(heal_time, "chaos", "bench", "heal",
+                                      "all links restored");
   h.cluster->network().heal_all();
   h.cluster->run_for(sim_ms(700));
   const std::uint64_t stale_settled = h.client_counter("client.stale_reads");
@@ -401,7 +442,55 @@ void zone_partition(std::uint64_t seed) {
        stale_end == stale_settled,
        "post-heal delta=" + std::to_string(stale_end - stale_settled));
 
+  // Consistency-observability gates: every stale read the minority zone
+  // served must have carried a measured staleness bound, the visibility
+  // probes must actually have run, and no write acked *after* the heal
+  // may be invisible on any replica at the final probe offset.
+  // (Partition-era acked writes may legitimately lag past the probe
+  // horizon — hinted handoff backs off up to seconds — so those are
+  // reported but not gated.)
+  const std::uint64_t unbounded = h.client_counter("client.stale_unbounded");
+  gate("zone-partition", "every stale read carried a staleness bound",
+       stale_during > 0 && unbounded == 0,
+       "stale=" + std::to_string(stale_during) +
+           " unbounded=" + std::to_string(unbounded));
+  const std::uint64_t probe_rounds = h.node_counter("audit.probe_rounds");
+  gate("zone-partition", "t-visibility probes sampled acked writes",
+       probe_rounds > 0, "probe_rounds=" + std::to_string(probe_rounds));
+  std::uint64_t pre_heal_violations = 0, post_heal_violations = 0;
+  for (std::size_t i = 0; i < h.cluster->data_node_count(); ++i) {
+    const ConsistencyAuditor* aud = h.cluster->node(i).auditor();
+    if (aud == nullptr) continue;
+    for (const auto& v : aud->violations()) {
+      if (v.acked_at >= heal_time) ++post_heal_violations;
+      else ++pre_heal_violations;
+    }
+  }
+  gate("zone-partition",
+       "zero visibility violations for writes acked after heal",
+       post_heal_violations == 0,
+       "post_heal=" + std::to_string(post_heal_violations) +
+           " partition_era=" + std::to_string(pre_heal_violations));
+
   dump_windows("zone_partition", reads);
+  dump_windows("zone_partition_writes", writes);
+
+  // Artifacts: the t-visibility curve, the flight-recorder journal, and
+  // the incident report on stdout (all byte-diffed across double runs).
+  ClusterInspector inspector(*h.cluster);
+  if (std::FILE* f =
+          std::fopen(out_path("scenario_consistency.csv").c_str(), "w")) {
+    std::fputs(inspector.visibility_csv().c_str(), f);
+    std::fclose(f);
+  }
+  if (std::FILE* f =
+          std::fopen(out_path("scenario_incidents.csv").c_str(), "w")) {
+    std::fputs(inspector.incidents_csv().c_str(), f);
+    std::fclose(f);
+  }
+  std::printf("  (consistency: scenario_consistency.csv, incidents: "
+              "scenario_incidents.csv)\n");
+  std::printf("%s", inspector.incident_report("zone partition").c_str());
 }
 
 // ---- lost-update ablation (LWW vs DVV) --------------------------------------

@@ -307,6 +307,116 @@ class ClusterInspector {
     return mon ? mon->alerts_text() : std::string{};
   }
 
+  /// Machine-readable alert export: every rule with its configuration and
+  /// current state, plus the full fire/resolve transition history.
+  /// Deterministic (rule order = registration order, events oldest first)
+  /// so same-seed runs produce byte-identical JSON.
+  [[nodiscard]] std::string alerts_json() const {
+    const ClusterMonitor* mon = cluster_.monitor();
+    std::string out = "{\"rules\":[";
+    if (mon != nullptr) {
+      const AlertEngine& eng = mon->alerts();
+      char buf[64];
+      bool first = true;
+      for (const AlertRule& rule : eng.rules()) {
+        if (!first) out += ",";
+        first = false;
+        const AlertState st = eng.state(rule.name);
+        out += "{\"name\":\"" + json_escape(rule.name) + "\",\"series\":\"" +
+               json_escape(rule.series) + "\",\"severity\":\"" +
+               json_escape(rule.severity) + "\",\"threshold\":";
+        std::snprintf(buf, sizeof buf, "%.6g", rule.threshold);
+        out += buf;
+        out += ",\"state\":\"";
+        out += st == AlertState::kFiring    ? "firing"
+               : st == AlertState::kPending ? "pending"
+                                            : "ok";
+        out += "\"}";
+      }
+      out += "],\"events\":[";
+      first = true;
+      for (const AlertEvent& e : eng.events()) {
+        if (!first) out += ",";
+        first = false;
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(e.at));
+        out += std::string("{\"at_us\":") + buf + ",\"rule\":\"" +
+               json_escape(e.rule) + "\",\"action\":\"" +
+               (e.fired ? "fired" : "resolved") + "\",\"value\":";
+        std::snprintf(buf, sizeof buf, "%.6g", e.value);
+        out += buf;
+        out += ",\"severity\":\"";
+        std::string severity = "warning";
+        for (const AlertRule& rule : eng.rules()) {
+          if (rule.name == e.rule) severity = rule.severity;
+        }
+        out += json_escape(severity) + "\"}";
+      }
+    } else {
+      out += "],\"events\":[";
+    }
+    out += "]}";
+    return out;
+  }
+
+  // ---- flight recorder / consistency surfaces ---------------------------
+
+  /// Human-readable incident timeline assembled from the cluster flight
+  /// recorder: chaos injections, alert transitions, shed bursts, health
+  /// flips, migration phases and consistency violations in one
+  /// sim-clock-ordered view.
+  [[nodiscard]] std::string incident_report(const std::string& title) const {
+    return cluster_.flight_recorder().render(title);
+  }
+
+  /// The same journal as CSV for machine diffing.
+  [[nodiscard]] std::string incidents_csv() const {
+    return cluster_.flight_recorder().csv();
+  }
+
+  /// PBS-style t-visibility curve: per probe offset, how many sampled
+  /// acked writes were already readable on every probed replica. Offsets
+  /// are merged across all data-node auditors positionally (every node
+  /// shares the node_template's offset ladder). Header-only when auditing
+  /// is disabled.
+  [[nodiscard]] std::string visibility_csv() const {
+    std::vector<std::uint64_t> offsets;
+    std::vector<ConsistencyAuditor::OffsetStats> merged;
+    for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+      const ConsistencyAuditor* aud = cluster_.node(i).auditor();
+      if (aud == nullptr) continue;
+      const auto& ladder = aud->config().probe_offsets;
+      const auto& stats = aud->offset_stats();
+      if (offsets.empty()) {
+        offsets.assign(ladder.begin(), ladder.end());
+        merged.resize(offsets.size());
+      }
+      for (std::size_t o = 0; o < merged.size() && o < stats.size(); ++o) {
+        merged[o].probes += stats[o].probes;
+        merged[o].checked += stats[o].checked;
+        merged[o].visible += stats[o].visible;
+        merged[o].unreachable += stats[o].unreachable;
+      }
+    }
+    std::string out = "offset_us,probes,checked,visible,unreachable,p_visible\n";
+    char buf[160];
+    for (std::size_t o = 0; o < merged.size(); ++o) {
+      const double p =
+          merged[o].checked == 0
+              ? 0.0
+              : static_cast<double>(merged[o].visible) /
+                    static_cast<double>(merged[o].checked);
+      std::snprintf(buf, sizeof buf, "%llu,%llu,%llu,%llu,%llu,%.6f\n",
+                    static_cast<unsigned long long>(offsets[o]),
+                    static_cast<unsigned long long>(merged[o].probes),
+                    static_cast<unsigned long long>(merged[o].checked),
+                    static_cast<unsigned long long>(merged[o].visible),
+                    static_cast<unsigned long long>(merged[o].unreachable), p);
+      out += buf;
+    }
+    return out;
+  }
+
   /// How many of `keys` live on fewer than `want` replicas right now,
   /// counted by peeking directly into every live node's local store (no
   /// network traffic, so it cannot trigger read repair). The yardstick
@@ -327,6 +437,18 @@ class ClusterInspector {
   }
 
  private:
+  /// Minimal JSON string escaping: the identifiers we emit are plain
+  /// ASCII, so quotes and backslashes are the only hazards worth handling.
+  [[nodiscard]] static std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
   SednaCluster& cluster_;
 };
 

@@ -54,6 +54,11 @@ struct MonitorConfig {
   /// pile-up means clients are blind-writing without reading a context.
   double sibling_growth_threshold = 16.0;
   std::uint32_t sibling_growth_samples = 4;
+  /// Staleness budget (µs): the worst replication lag any coordinator may
+  /// report before the staleness-budget alert fires. Only meaningful when
+  /// the consistency auditor is enabled on the data nodes — the series
+  /// reads 0 otherwise, so the rule simply never fires.
+  double staleness_budget_us = 250000.0;
 };
 
 struct HealthTransition {
@@ -94,6 +99,12 @@ class ClusterMonitor {
                 config_.sibling_growth_threshold,
                 config_.sibling_growth_samples, config_.alert_clear_samples,
                 "warning"});
+      // Replication lag is a gauge derived from auditor state, so the rule
+      // resolves by itself once every vnode regains full-quorum reads.
+      add_rule({"staleness-budget", "replication_lag_max_us",
+                AlertOp::kGreaterThan, config_.staleness_budget_us,
+                config_.alert_for_samples, config_.alert_clear_samples,
+                "warning"});
     }
     alerts_.set_transition_hook(
         [this](const AlertRule& rule, const AlertEvent& e) {
@@ -103,6 +114,12 @@ class ClusterMonitor {
                   rule.name,
               0, e.at);
           tracer.end(ctx.span_id, e.at, rule.severity);
+          char buf[96];
+          std::snprintf(buf, sizeof buf, "value=%.6g severity=%s", e.value,
+                        rule.severity.c_str());
+          cluster_.flight_recorder().record(
+              e.at, "alert", "monitor",
+              std::string(e.fired ? "fired:" : "resolved:") + rule.name, buf);
         });
     timer_ = cluster_.sim().schedule_periodic(
         config_.sample_interval == 0 ? sim_ms(500) : config_.sample_interval,
@@ -323,7 +340,8 @@ class ClusterMonitor {
     });
     // Sheds per sample window (delta of the monotone per-host counters),
     // so the alert below resolves once shedding stops.
-    recorder_.add_series("shed_rate", [this, prev = 0.0]() mutable {
+    recorder_.add_series("shed_rate", [this, prev = 0.0,
+                                       burst = false]() mutable {
       double total = 0;
       for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
         auto& node = cluster_.node(i);
@@ -332,6 +350,19 @@ class ClusterMonitor {
       }
       const double delta = total - prev;
       prev = total;
+      // Flight-record shed bursts as transitions, not per-sample spam: one
+      // event when shedding starts, one when a window passes with none.
+      if (delta > 0 && !burst) {
+        burst = true;
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "sheds_in_window=%.6g", delta);
+        cluster_.flight_recorder().record(cluster_.sim().now(), "overload",
+                                          "monitor", "shed-burst-start", buf);
+      } else if (delta == 0 && burst) {
+        burst = false;
+        cluster_.flight_recorder().record(cluster_.sim().now(), "overload",
+                                          "monitor", "shed-burst-end");
+      }
       return delta;
     });
     recorder_.add_series("stale_reads", [this] {
@@ -367,6 +398,26 @@ class ClusterMonitor {
             cluster_.node(i).local_store().stats().dvv_merges);
       }
       return n;
+    });
+    // Consistency observability (appended last — CSV column order again).
+    // All three read 0 while the auditor is disabled on the data nodes.
+    recorder_.add_series("staleness_p99_us", [this] {
+      return merged_quantile("audit.staleness_bound_us", 0.99);
+    });
+    recorder_.add_series("replication_lag_max_us", [this] {
+      double worst = 0;
+      const SimTime now = cluster_.sim().now();
+      for (std::size_t i = 0; i < cluster_.data_node_count(); ++i) {
+        auto& node = cluster_.node(i);
+        if (!node.alive() || node.auditor() == nullptr) continue;
+        worst = std::max(
+            worst,
+            static_cast<double>(node.auditor()->max_replication_lag_us(now)));
+      }
+      return worst;
+    });
+    recorder_.add_series("visibility_violations", [this] {
+      return counter_sum("audit.visibility_violations");
     });
   }
 
@@ -454,6 +505,9 @@ class ClusterMonitor {
         const auto ctx = tracer.start_trace(
             "health.node-" + std::to_string(id), id, now);
         tracer.end(ctx.span_id, now, to_string(next));
+        cluster_.flight_recorder().record(
+            now, "health", "node-" + std::to_string(id), to_string(next),
+            std::string("was ") + to_string(h.state));
         h.state = next;
       }
     }

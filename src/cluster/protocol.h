@@ -181,6 +181,20 @@ struct ReadReply {
   /// only on replies to causal reads.
   bool has_causal = false;
   store::CausalRecord causal;
+  /// Trailing audit section (consistency auditor): on stale-tagged
+  /// serves, the measured staleness bound in µs — "stale by at most
+  /// this much", not just "stale". 0 = not measured (auditing off).
+  std::uint64_t staleness_us = 0;
+
+  // Trailing sections share one tag byte so they compose: bit 0 =
+  // causal record follows, bit 1 = staleness bound precedes it. The tag
+  // (and everything after) is emitted only when a section carries
+  // state, so plain LWW replies — and *every* reply with auditing off —
+  // stay byte-identical with the legacy layout (the PR 7 rule: payload
+  // size feeds the network delay model, so an unconditional byte would
+  // shift every seeded run).
+  static constexpr std::uint8_t kTrailCausal = 1;
+  static constexpr std::uint8_t kTrailAudit = 2;
 
   [[nodiscard]] std::string encode() const {
     BinaryWriter w(latest.value.size() + 32);
@@ -196,7 +210,14 @@ struct ReadReply {
                    out.put_u64(sv.ts);
                  });
     w.put_bool(stale);
-    if (has_causal) causal.encode(w);
+    const std::uint8_t trail =
+        static_cast<std::uint8_t>((has_causal ? kTrailCausal : 0) |
+                                  (staleness_us != 0 ? kTrailAudit : 0));
+    if (trail != 0) {
+      w.put_u8(trail);
+      if ((trail & kTrailAudit) != 0) w.put_u64(staleness_us);
+      if ((trail & kTrailCausal) != 0) causal.encode(w);
+    }
     return std::move(w).take();
   }
 
@@ -218,8 +239,16 @@ struct ReadReply {
         });
     rep.stale = r.get_bool();
     if (!r.failed() && !r.exhausted()) {
-      rep.causal = store::CausalRecord::decode(r);
-      rep.has_causal = !r.failed();
+      const std::uint8_t trail = r.get_u8();
+      if (trail == 0 ||
+          (trail & ~(kTrailCausal | kTrailAudit)) != 0) {
+        return Status::Corruption("bad read reply trailer");
+      }
+      if ((trail & kTrailAudit) != 0) rep.staleness_us = r.get_u64();
+      if ((trail & kTrailCausal) != 0) {
+        rep.causal = store::CausalRecord::decode(r);
+        rep.has_causal = !r.failed();
+      }
     }
     if (r.failed()) return Status::Corruption("bad read reply");
     return rep;

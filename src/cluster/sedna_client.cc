@@ -251,7 +251,19 @@ void SednaClient::do_read(ReadRequest req, int attempt, SimTime deadline,
                rep->status != StatusCode::kFailure &&
                rep->status != StatusCode::kOverloaded) {
              metrics_.counter("client.reads").add(1);
-             if (rep->stale) metrics_.counter("client.stale_reads").add(1);
+             if (rep->stale) {
+               metrics_.counter("client.stale_reads").add(1);
+               // The coordinator's staleness bound rides the reply when
+               // auditing is on; a stale read *without* one is exactly the
+               // unlabeled-staleness hole the auditor exists to close, so
+               // count the two cases apart.
+               if (rep->staleness_us > 0) {
+                 metrics_.histogram("client.staleness_bound_us")
+                     .record(rep->staleness_us);
+               } else {
+                 metrics_.counter("client.stale_unbounded").add(1);
+               }
+             }
              refill_retry_budget();
              end_span(span, std::string(to_string(rep->status)));
              cb(std::move(rep));

@@ -107,6 +107,7 @@ Status SednaCluster::boot() {
       cfg.persistence.dir += "/node-" + std::to_string(id);
     }
     nodes_.push_back(std::make_unique<SednaNode>(net_, id, cfg));
+    nodes_.back()->set_flight_recorder(&flight_);
     auto outcome = std::make_shared<std::optional<Status>>();
     nodes_.back()->start(
         [outcome](const Status& node_st) { *outcome = node_st; });
@@ -218,6 +219,7 @@ Result<NodeId> SednaCluster::join_new_node() {
     cfg.persistence.dir += "/node-" + std::to_string(id);
   }
   nodes_.push_back(std::make_unique<SednaNode>(net_, id, cfg));
+  nodes_.back()->set_flight_recorder(&flight_);
   if (monitor_ != nullptr) {
     nodes_.back()->set_health_provider(
         [m = monitor_.get()](NodeId n) { return m->health(n); });

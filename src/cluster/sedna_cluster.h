@@ -21,6 +21,7 @@
 #include "cluster/metadata.h"
 #include "cluster/sedna_client.h"
 #include "cluster/sedna_node.h"
+#include "common/flight_recorder.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
 #include "zk/zk_server.h"
@@ -90,6 +91,12 @@ class SednaCluster {
   /// The attached monitor, or nullptr if enable_monitor was never called.
   [[nodiscard]] ClusterMonitor* monitor() { return monitor_.get(); }
 
+  /// Cluster-wide flight recorder: a bounded, sim-clock-stamped journal of
+  /// notable events (chaos injections, alert transitions, shed bursts,
+  /// migration phases, consistency violations). Always on — recording is
+  /// pure in-memory bookkeeping and never perturbs the simulation.
+  [[nodiscard]] FlightRecorder& flight_recorder() { return flight_; }
+
   // ---- synchronous wrappers (drive the event loop) ----------------------
   bool run_until(const std::function<bool()>& pred);
   void run_for(SimDuration d) { sim_.run_for(d); }
@@ -114,6 +121,7 @@ class SednaCluster {
   std::vector<std::unique_ptr<SednaNode>> nodes_;
   std::vector<std::unique_ptr<SednaClient>> clients_;
   std::unique_ptr<ClusterMonitor> monitor_;
+  FlightRecorder flight_;
   NodeId next_client_id_ = 1000;
   NodeId next_data_id_ = 100;
 };

@@ -36,6 +36,9 @@ SednaNode::SednaNode(sim::Network& net, NodeId id, SednaNodeConfig config)
     persistence_ = std::make_unique<wal::PersistenceManager>(
         config_.persistence, *store_);
   }
+  if (config_.audit.enabled) {
+    auditor_ = std::make_unique<ConsistencyAuditor>(config_.audit, metrics_);
+  }
 }
 
 SednaNode::~SednaNode() = default;
@@ -303,6 +306,11 @@ void SednaNode::report_load() {
     }
   }
   reported_status_ = vnode_status_;
+  // Replication-lag gossip rides the same row as a trailing-optional
+  // section: per-vnode lag estimate plus the stale serves issued this
+  // window. Nothing is appended with auditing off, so the row (and its
+  // network footprint) stays byte-identical.
+  if (auditor_ != nullptr) row.lags = auditor_->lag_rows(now());
   const std::string path =
       std::string(kZkRealNodes) + "/load-" + std::to_string(id());
   // Upsert: set, create on NotFound.
@@ -312,6 +320,80 @@ void SednaNode::report_load() {
             zk_.create(path, row.encode(), zk::CreateMode::kEphemeral,
                        [](const Result<std::string>&) {});
           });
+}
+
+void SednaNode::probe_visibility(const std::string& key, Timestamp wts,
+                                 VnodeId vnode, SimTime acked_at) {
+  // Snapshot the replica set at ack time: those are the copies the write
+  // quorum was assembled from, so those are the copies the visibility
+  // promise is about.
+  auto replicas = std::make_shared<std::vector<NodeId>>(
+      metadata_.table().replicas_for_vnode(vnode));
+  const std::size_t offsets = config_.audit.probe_offsets.size();
+  for (std::size_t i = 0; i < offsets; ++i) {
+    const bool final_offset = i + 1 == offsets;
+    sim().schedule(
+        config_.audit.probe_offsets[i],
+        [this, key, wts, acked_at, replicas, i, final_offset] {
+          if (!alive() || !ready_ || auditor_ == nullptr) return;
+          set_trace_context({});
+          auditor_->on_probe_fire(i);
+          ReadRequest probe;
+          probe.mode = ReadMode::kLatest;
+          probe.key = key;
+          const std::string payload = probe.encode();
+          for (NodeId replica : *replicas) {
+            if (replica == id()) {
+              // Visibility means "this write or something newer": under
+              // LWW a later overwrite legitimately shadows the probed
+              // timestamp.
+              const ReadReply rep = local_read(probe);
+              const bool visible = rep.has_latest && rep.latest.ts >= wts;
+              auditor_->on_probe_check(i, true, visible);
+              if (final_offset && !visible) {
+                record_visibility_violation(acked_at, key, replica);
+              }
+              continue;
+            }
+            call_with_timeout(
+                replica, kMsgReplicaRead, payload,
+                config_.audit.probe_timeout,
+                [this, i, final_offset, wts, acked_at, key, replica](
+                    const Status& st, const std::string& body) {
+                  if (auditor_ == nullptr) return;
+                  if (!st.ok()) {
+                    auditor_->on_probe_check(i, false, false);
+                    return;
+                  }
+                  auto rep = ReadReply::decode(body);
+                  if (!rep.ok() ||
+                      rep->status == StatusCode::kOverloaded) {
+                    // Shed probes are abandonment, not evidence.
+                    auditor_->on_probe_check(i, false, false);
+                    return;
+                  }
+                  const bool visible =
+                      rep->has_latest && rep->latest.ts >= wts;
+                  auditor_->on_probe_check(i, true, visible);
+                  if (final_offset && !visible) {
+                    record_visibility_violation(acked_at, key, replica);
+                  }
+                });
+          }
+        });
+  }
+}
+
+void SednaNode::record_visibility_violation(SimTime acked_at,
+                                            const std::string& key,
+                                            NodeId replica) {
+  auditor_->on_violation(acked_at, now(), key, replica);
+  if (flight_ != nullptr) {
+    flight_->record(now(), "consistency", "node-" + std::to_string(id()),
+                    "visibility-violation",
+                    "key=" + key + " replica=" + std::to_string(replica) +
+                        " acked_at=" + std::to_string(acked_at));
+  }
 }
 
 void SednaNode::on_message(const sim::Message& msg) {
@@ -697,7 +779,8 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
   const auto total = static_cast<std::uint32_t>(replicas.size());
 
   auto settle = [this, state, origin, cfg, total, started, vnode, trace,
-                 coord_span, key = req.key, causal_put, causal_clock]() {
+                 coord_span, key = req.key, causal_put, causal_clock,
+                 wts = req.ts]() {
     if (state->replied) return;
     WriteReply rep;
     if (state->acks >= cfg.write_quorum) {
@@ -706,6 +789,14 @@ void SednaNode::handle_client_write(const sim::Message& msg) {
         // Hand the post-write clock back as the client's next context.
         rep.has_ctx = true;
         rep.ctx = causal_clock;
+      }
+      // t-visibility probe (PBS-style): sample acked LWW writes and check
+      // back on every replica at fixed offsets to measure how quickly an
+      // acknowledged write becomes readable cluster-wide. Causal puts are
+      // excluded — their convergence is vector-clock joins, not a single
+      // timestamp, so "ts >= wts" is not the right visibility predicate.
+      if (auditor_ != nullptr && !causal_put && auditor_->should_probe()) {
+        probe_visibility(key, wts, vnode, now());
       }
     } else if (state->responses < total) {
       return;  // still waiting and quorum still possible
@@ -816,13 +907,19 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
     /// divergent replicas — including late arrivals.
     bool has_causal_answer = false;
     store::CausalRecord merged;
+    /// Consistency-auditor bookkeeping: whether the final audit sample
+    /// has been emitted, whether the reply went out stale-tagged, and
+    /// when the reply was sent (for the confirmation-lag measurement).
+    bool audited = false;
+    bool served_stale = false;
+    SimTime settled_at = 0;
   };
   auto state = std::make_shared<ReadState>();
   const sim::Message origin = msg;
   const auto total = static_cast<std::uint32_t>(replicas.size());
 
   auto settle = [this, state, origin, cfg, total, started, trace, coord_span,
-                 req]() {
+                 req, vnode]() {
     if (state->replied) return;
 
     if (req.causal) {
@@ -850,7 +947,14 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
         out.status = StatusCode::kOk;
         out.has_causal = true;
         out.causal = merged;
-        if (positives < cfg.read_quorum) out.stale = true;
+        if (positives < cfg.read_quorum) {
+          out.stale = true;
+          if (auditor_ != nullptr) {
+            out.staleness_us = auditor_->on_stale_serve(vnode, now());
+          }
+        } else if (auditor_ != nullptr) {
+          auditor_->on_full_quorum(vnode, now());
+        }
         state->has_causal_answer = true;
         state->merged = merged;
         // Repair replicas whose record is missing or diverged: push the
@@ -889,6 +993,8 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
           state->replied = true;
           state->has_answer = true;
           state->answer = rep.latest;
+          state->settled_at = now();
+          if (auditor_ != nullptr) auditor_->on_full_quorum(vnode, now());
           metrics_.histogram("coordinator.read_latency_us")
               .record(now() - started, trace);
           ReadReply out = rep;
@@ -925,12 +1031,20 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
           state->replied = true;
           state->has_answer = true;
           state->answer = freshest->latest;
+          state->served_stale = true;
+          state->settled_at = now();
           metrics_.counter("coordinator.degraded_reads").add(1);
           metrics_.histogram("coordinator.read_latency_us")
               .record(now() - started, trace);
           ReadReply out = *freshest;
           out.status = StatusCode::kOk;
           out.stale = true;
+          // Bounded staleness: the served value is no older than the time
+          // since this vnode last confirmed a full read quorum, so hand
+          // the client that bound alongside the stale tag.
+          if (auditor_ != nullptr) {
+            out.staleness_us = auditor_->on_stale_serve(vnode, now());
+          }
           end_span(coord_span, "ok");
           reply(origin, out.encode());
           return;
@@ -959,6 +1073,11 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
         out.stale = true;
         state->has_answer = true;
         state->answer = freshest->latest;
+        state->served_stale = true;
+        state->settled_at = now();
+        if (auditor_ != nullptr) {
+          out.staleness_us = auditor_->on_stale_serve(vnode, now());
+        }
         std::vector<NodeId> stale;
         for (const auto& [node, rep] : state->replies) {
           if (!rep.has_latest || rep.latest.ts < out.latest.ts) {
@@ -1007,6 +1126,38 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
     reply(origin, out.encode());
   };
 
+  // Staleness sample: once every replica has answered (call_with_timeout
+  // always fires, so responses always reaches total), compare the value
+  // the client was served against the freshest timestamp any replica
+  // reported. The gap — versions behind, and wall-clock µs behind — is a
+  // *measured* staleness observation, not a bound.
+  auto audit_finalize = [this, state, total, vnode,
+                         causal = req.causal, mode = req.mode]() {
+    if (auditor_ == nullptr || state->audited || state->responses < total ||
+        causal || mode != ReadMode::kLatest || !state->has_answer) {
+      return;
+    }
+    state->audited = true;
+    ReadAuditSample s;
+    s.vnode = vnode;
+    s.served_ts = state->answer.ts;
+    s.stale = state->served_stale;
+    s.confirm_lag_us =
+        now() > state->settled_at ? now() - state->settled_at : 0;
+    for (const auto& [node, rep] : state->replies) {
+      if (!rep.has_latest) continue;
+      ++s.positives;
+      if (s.positives == 1) {
+        s.freshest_ts = s.oldest_ts = rep.latest.ts;
+      } else {
+        s.freshest_ts = std::max(s.freshest_ts, rep.latest.ts);
+        s.oldest_ts = std::min(s.oldest_ts, rep.latest.ts);
+      }
+      if (rep.latest.ts > state->answer.ts) ++s.newer;
+    }
+    auditor_->on_read_final(s);
+  };
+
   // Deadline-aware fan-out; see handle_client_write. Deadline-shortened
   // timeouts are abandonment, not failure evidence.
   SimDuration fanout_timeout = config().rpc_timeout_us;
@@ -1026,11 +1177,12 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
       state->replies.emplace_back(id(), std::move(rep));
       ++state->responses;
       settle();
+      audit_finalize();
       continue;
     }
     call_with_timeout(
         replica, kMsgReplicaRead, payload, fanout_timeout,
-        [this, state, settle, replica, vnode, key = req.key,
+        [this, state, settle, audit_finalize, replica, vnode, key = req.key,
          deadline_bounded](const Status& st, const std::string& body) {
           ++state->responses;
           if (!st.ok()) {
@@ -1064,6 +1216,7 @@ void SednaNode::handle_client_read(const sim::Message& msg) {
             }
           }
           settle();
+          audit_finalize();
         },
         origin.deadline);
   }
@@ -2183,6 +2336,12 @@ void SednaNode::begin_migration(
   }
   migrating_in_.insert(vnode);
   metrics_.counter("rebalance.migrations_accepted").add(1);
+  if (flight_ != nullptr) {
+    flight_->record(now(), "migration", "node-" + std::to_string(id()),
+                    "migration-start",
+                    "vnode=" + std::to_string(vnode) +
+                        " from=" + std::to_string(from));
+  }
   // Trace continuation: a leader-dispatched migration arrives with the
   // leader's context stamped on the RPC — run as a child span so the
   // whole protocol is one tree rooted at the leader. Direct invocations
@@ -2212,6 +2371,11 @@ void SednaNode::begin_migration(
                  done = std::move(done)](bool committed) {
     migrating_in_.erase(vnode);
     if (!committed) metrics_.counter("rebalance.migrations_aborted").add(1);
+    if (flight_ != nullptr) {
+      flight_->record(now(), "migration", "node-" + std::to_string(id()),
+                      committed ? "migration-commit" : "migration-abort",
+                      "vnode=" + std::to_string(vnode));
+    }
     end_span(root, committed ? "ok" : "failure");
     set_trace_context({});
     done(*state);

@@ -27,10 +27,12 @@
 #include <string>
 #include <vector>
 
+#include "cluster/consistency_auditor.h"
 #include "cluster/health.h"
 #include "cluster/metadata.h"
 #include "cluster/protocol.h"
 #include "cluster/rebalancer.h"
+#include "common/flight_recorder.h"
 #include "common/heavy_hitters.h"
 #include "common/metrics.h"
 #include "ring/imbalance.h"
@@ -123,6 +125,12 @@ struct SednaNodeConfig {
   /// Concurrent slice fetches during hydration.
   std::uint32_t restart_hydration_fanout = 8;
 
+  // --- Consistency observability (staleness auditor + t-visibility) -----
+  /// Coordinator-side staleness sampling, per-vnode replication-lag
+  /// gossip, and sampled acked-write visibility probes. Off by default:
+  /// the probes add replica reads, which would perturb seeded runs.
+  ConsistencyAuditorConfig audit;
+
   zk::ZkClientConfig zk_client;  // ensemble is filled from zk_ensemble
   sim::HostConfig host;
 };
@@ -198,6 +206,16 @@ class SednaNode : public sim::Host {
   [[nodiscard]] std::size_t migrations_active() const {
     return migrations_dispatched_ + migrating_in_.size();
   }
+
+  /// Consistency auditor (nullptr unless config.audit.enabled).
+  [[nodiscard]] const ConsistencyAuditor* auditor() const {
+    return auditor_.get();
+  }
+
+  /// Cluster-wide flight recorder this node journals qualitative events
+  /// into (migration phases, auditor violations). Wired by the harness;
+  /// unset = events are simply not journaled.
+  void set_flight_recorder(FlightRecorder* recorder) { flight_ = recorder; }
 
  protected:
   void on_message(const sim::Message& msg) override;
@@ -275,6 +293,17 @@ class SednaNode : public sim::Host {
                              std::function<void()> done);
   void report_load();
   void schedule_flush();
+
+  // ---- Consistency auditor (probe driver) --------------------------------
+  /// Schedules the t-visibility probes for one sampled acked write: at
+  /// each configured offset, re-read the key from every replica and
+  /// tally whether the write (or something newer) is visible.
+  void probe_visibility(const std::string& key, Timestamp wts, VnodeId vnode,
+                        SimTime acked_at);
+  /// A final-offset probe found a *reachable* replica still missing the
+  /// acked write: count it, retain the record, journal a flight event.
+  void record_visibility_violation(SimTime acked_at, const std::string& key,
+                                   NodeId replica);
 
   // ---- Hinted handoff ----------------------------------------------------
   struct PendingHint {
@@ -386,6 +415,10 @@ class SednaNode : public sim::Host {
   std::size_t migrations_dispatched_ = 0;
   std::function<HealthState(NodeId)> health_provider_;
   sim::TimerHandle traffic_rebalance_timer_;
+
+  // Consistency observability.
+  std::unique_ptr<ConsistencyAuditor> auditor_;
+  FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace sedna::cluster

@@ -1,0 +1,144 @@
+// Cluster flight recorder: a bounded, sim-clock-stamped journal of the
+// *qualitative* events of a run — chaos injections, alert fire/resolve
+// transitions, health transitions, shed bursts, migration phases, and
+// auditor-detected consistency violations — in one causally-ordered
+// place. Metrics answer "how much"; the flight recorder answers "what
+// happened, in what order" when an operator reconstructs an incident.
+//
+// Design points:
+//   * bounded ring: the newest `capacity` events are retained, oldest
+//     evicted first, with an eviction counter so truncation is visible;
+//   * sim-clock timestamps plus a monotone sequence number, so events
+//     recorded at the same instant keep a total order and two
+//     identically-seeded runs render byte-identical timelines;
+//   * pure in-memory state: recording never touches the simulation, so
+//     wiring the recorder into a seeded run cannot perturb the data path.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+
+#include "common/types.h"
+
+namespace sedna {
+
+struct FlightEvent {
+  SimTime at = 0;
+  /// Total order among same-instant events (assignment order).
+  std::uint64_t seq = 0;
+  /// Coarse family: "chaos", "alert", "health", "overload", "migration",
+  /// "consistency". Free-form — used for grouping, never parsed.
+  std::string category;
+  /// Originator, e.g. "node-102", "monitor", "bench".
+  std::string source;
+  /// Short machine-stable label, e.g. "partition", "fired:replica-lag".
+  std::string label;
+  /// Optional human detail ("vnode=12 from=103").
+  std::string detail;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void record(SimTime at, std::string category, std::string source,
+              std::string label, std::string detail = {}) {
+    FlightEvent ev;
+    ev.at = at;
+    ev.seq = next_seq_++;
+    ev.category = std::move(category);
+    ev.source = std::move(source);
+    ev.label = std::move(label);
+    ev.detail = std::move(detail);
+    events_.push_back(std::move(ev));
+    if (events_.size() > capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] const std::deque<FlightEvent>& events() const {
+    return events_;
+  }
+  /// Lifetime events recorded (including evicted ones).
+  [[nodiscard]] std::uint64_t recorded() const { return next_seq_; }
+  /// Events evicted by the ring bound.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void clear() {
+    events_.clear();
+    // next_seq_/dropped_ keep counting: they are lifetime totals.
+  }
+
+  /// CSV export (stable column order; fields quoted when they contain
+  /// delimiters). Deterministic: rows in recording order.
+  [[nodiscard]] std::string csv() const {
+    std::string out = "seq,at_us,category,source,label,detail\n";
+    char buf[64];
+    for (const FlightEvent& ev : events_) {
+      std::snprintf(buf, sizeof buf, "%llu,%llu,",
+                    static_cast<unsigned long long>(ev.seq),
+                    static_cast<unsigned long long>(ev.at));
+      out += buf;
+      out += csv_field(ev.category);
+      out += ',';
+      out += csv_field(ev.source);
+      out += ',';
+      out += csv_field(ev.label);
+      out += ',';
+      out += csv_field(ev.detail);
+      out += '\n';
+    }
+    return out;
+  }
+
+  /// Human-readable incident timeline (the render `incident_report()`
+  /// exposes), matching the monitor log style.
+  [[nodiscard]] std::string render(const std::string& title) const {
+    std::string out = "=== incident timeline: " + title + " ===\n";
+    char buf[96];
+    if (dropped_ > 0) {
+      std::snprintf(buf, sizeof buf,
+                    "(%llu older event(s) evicted by the ring bound)\n",
+                    static_cast<unsigned long long>(dropped_));
+      out += buf;
+    }
+    for (const FlightEvent& ev : events_) {
+      std::snprintf(buf, sizeof buf, "[%10llu us] %-11s %-9s %s",
+                    static_cast<unsigned long long>(ev.at),
+                    ev.category.c_str(), ev.source.c_str(),
+                    ev.label.c_str());
+      out += buf;
+      if (!ev.detail.empty()) {
+        out += ' ';
+        out += ev.detail;
+      }
+      out += '\n';
+    }
+    if (events_.empty()) out += "(no events recorded)\n";
+    return out;
+  }
+
+ private:
+  static std::string csv_field(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (char c : s) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  }
+
+  std::size_t capacity_;
+  std::deque<FlightEvent> events_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sedna

@@ -55,6 +55,21 @@ struct VnodeLoadRow {
   }
 };
 
+/// One vnode's replication-lag row (consistency auditor gossip): how far
+/// this coordinator believes the vnode's replicas lag behind, plus the
+/// stale-tagged serves it issued since the previous report. Rides the
+/// RealNodeLoad row as a trailing-optional section.
+struct VnodeLagRow {
+  VnodeId vnode = 0;
+  std::uint64_t lag_us = 0;
+  std::uint64_t stale_serves = 0;
+
+  friend bool operator==(const VnodeLagRow& a, const VnodeLagRow& b) {
+    return a.vnode == b.vnode && a.lag_us == b.lag_us &&
+           a.stale_serves == b.stale_serves;
+  }
+};
+
 /// One row of the imbalance table: a real node's aggregate plus the
 /// per-vnode breakdown (only vnodes with activity are listed, so the row
 /// stays "quite small comparing with the virtual nodes number").
@@ -66,6 +81,10 @@ struct RealNodeLoad {
   std::uint64_t writes = 0;
   std::uint64_t misses = 0;
   std::vector<VnodeLoadRow> vnodes;
+  /// Trailing-optional replication-lag section (consistency auditor):
+  /// encoded only when non-empty, so rows from auditing-off nodes stay
+  /// byte-identical with the legacy layout.
+  std::vector<VnodeLagRow> lags;
 
   [[nodiscard]] std::string encode() const {
     BinaryWriter w(56 + vnodes.size() * 40);
@@ -82,6 +101,14 @@ struct RealNodeLoad {
       w.put_u64(v.reads);
       w.put_u64(v.writes);
       w.put_u64(v.misses);
+    }
+    if (!lags.empty()) {
+      w.put_u32(static_cast<std::uint32_t>(lags.size()));
+      for (const VnodeLagRow& l : lags) {
+        w.put_u32(l.vnode);
+        w.put_u64(l.lag_us);
+        w.put_u64(l.stale_serves);
+      }
     }
     return std::move(w).take();
   }
@@ -107,6 +134,19 @@ struct RealNodeLoad {
       v.misses = r.get_u64();
       if (r.failed()) return Status::Corruption("bad vnode load row");
       row.vnodes.push_back(v);
+    }
+    if (!r.failed() && !r.exhausted()) {
+      const std::uint32_t m = r.get_u32();
+      if (r.failed()) return Status::Corruption("bad lag section");
+      row.lags.reserve(m);
+      for (std::uint32_t i = 0; i < m; ++i) {
+        VnodeLagRow l;
+        l.vnode = r.get_u32();
+        l.lag_us = r.get_u64();
+        l.stale_serves = r.get_u64();
+        if (r.failed()) return Status::Corruption("bad lag row");
+        row.lags.push_back(l);
+      }
     }
     return row;
   }

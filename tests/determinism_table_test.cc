@@ -88,7 +88,33 @@ struct ObservabilityDump {
   std::string dashboard;
   std::string tail_report;
   std::string attribution;
+  std::string incidents;
+  std::string alerts;
+
+  static ObservabilityDump from(const ClusterInspector& inspector) {
+    return {inspector.metrics_text(),   inspector.trace_json(),
+            inspector.timeseries_csv(), inspector.dashboard(),
+            inspector.tail_report(),    inspector.attribution_csv(),
+            inspector.incidents_csv(),  inspector.alerts_json()};
+  }
 };
+
+void expect_dumps_equal(const ObservabilityDump& a, const ObservabilityDump& b,
+                        std::uint64_t seed) {
+  EXPECT_EQ(a.metrics, b.metrics) << "metrics diverged for seed " << seed;
+  EXPECT_EQ(a.traces, b.traces) << "traces diverged for seed " << seed;
+  EXPECT_EQ(a.timeseries, b.timeseries)
+      << "time series diverged for seed " << seed;
+  EXPECT_EQ(a.dashboard, b.dashboard)
+      << "dashboard diverged for seed " << seed;
+  EXPECT_EQ(a.tail_report, b.tail_report)
+      << "tail report diverged for seed " << seed;
+  EXPECT_EQ(a.attribution, b.attribution)
+      << "attribution CSV diverged for seed " << seed;
+  EXPECT_EQ(a.incidents, b.incidents)
+      << "incident CSV diverged for seed " << seed;
+  EXPECT_EQ(a.alerts, b.alerts) << "alerts JSON diverged for seed " << seed;
+}
 
 ObservabilityDump run_traced(std::uint64_t seed) {
   SednaClusterConfig cfg;
@@ -110,26 +136,14 @@ ObservabilityDump run_traced(std::uint64_t seed) {
     (void)cluster.read_latest(client, "obs-" + std::to_string(i));
   }
   cluster.run_for(sim_sec(1));
-  ClusterInspector inspector(cluster);
-  return {inspector.metrics_text(),    inspector.trace_json(),
-          inspector.timeseries_csv(),  inspector.dashboard(),
-          inspector.tail_report(),     inspector.attribution_csv()};
+  return ObservabilityDump::from(ClusterInspector(cluster));
 }
 
 TEST(Determinism, ObservabilityDumpsAreByteIdenticalAcrossSeedSweep) {
   for (std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
     const ObservabilityDump a = run_traced(seed);
     const ObservabilityDump b = run_traced(seed);
-    EXPECT_EQ(a.metrics, b.metrics) << "metrics diverged for seed " << seed;
-    EXPECT_EQ(a.traces, b.traces) << "traces diverged for seed " << seed;
-    EXPECT_EQ(a.timeseries, b.timeseries)
-        << "time series diverged for seed " << seed;
-    EXPECT_EQ(a.dashboard, b.dashboard)
-        << "dashboard diverged for seed " << seed;
-    EXPECT_EQ(a.tail_report, b.tail_report)
-        << "tail report diverged for seed " << seed;
-    EXPECT_EQ(a.attribution, b.attribution)
-        << "attribution CSV diverged for seed " << seed;
+    expect_dumps_equal(a, b, seed);
     // The dumps are non-trivial: real counters, spans, samples, health.
     EXPECT_NE(a.metrics.find("sedna_client_writes"), std::string::npos);
     EXPECT_NE(a.traces.find("client.write_latest"), std::string::npos);
@@ -139,6 +153,73 @@ TEST(Determinism, ObservabilityDumpsAreByteIdenticalAcrossSeedSweep) {
               std::string::npos);
     EXPECT_NE(a.attribution.find("trace,op,start_us,total_us"),
               std::string::npos);
+  }
+}
+
+// ---- auditor-enabled determinism ----------------------------------------------
+//
+// The consistency auditor adds read-side sampling, lag gossip rows and
+// probe RPCs to the data path, and the flight recorder journals health
+// and alert transitions. A partitioned, audited run — probes and all —
+// must replay bit-identically across runs for every seed, including the
+// incident CSV and the alerts JSON.
+
+ObservabilityDump run_audited(std::uint64_t seed) {
+  SednaClusterConfig cfg;
+  cfg.zk_members = 3;
+  cfg.data_nodes = 4;
+  cfg.cluster.total_vnodes = 64;
+  cfg.seed = seed;
+  cfg.node_template.audit.enabled = true;
+  cfg.node_template.audit.probe_sample_every = 4;
+  cfg.node_template.degraded_reads = true;
+  SednaCluster cluster(cfg);
+  EXPECT_TRUE(cluster.boot().ok());
+  MonitorConfig mon;
+  mon.sample_interval = sim_ms(100);
+  cluster.enable_monitor(mon);
+  auto& client = cluster.make_client();
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(cluster.write_latest(client, "aud-" + std::to_string(i),
+                                     "v" + std::to_string(i)).ok());
+  }
+  // Isolate one node so stale serves, lag rows and probe failures all
+  // happen inside the window, then heal and let the probes drain.
+  const std::vector<NodeId> ids = cluster.data_ids();
+  for (std::size_t b = 1; b < ids.size(); ++b) {
+    cluster.network().partition(ids[0], ids[b]);
+  }
+  for (int i = 0; i < 30; ++i) {
+    (void)cluster.read_latest(client, "aud-" + std::to_string(i));
+    (void)cluster.write_latest(client, "aud-" + std::to_string(i), "p");
+  }
+  cluster.network().heal_all();
+  // A crash on top: guarantees journaled health transitions and lets
+  // in-flight probes hit an unreachable replica.
+  cluster.crash_node(2);
+  cluster.run_for(sim_sec(2));
+  return ObservabilityDump::from(ClusterInspector(cluster));
+}
+
+TEST(Determinism, AuditedRunsAreByteIdenticalAcrossSeedSweep) {
+  for (std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
+    const ObservabilityDump a = run_audited(seed);
+    const ObservabilityDump b = run_audited(seed);
+    expect_dumps_equal(a, b, seed);
+    // The run exercised the auditor for real: audited reads and probe
+    // rounds are in the metrics, the lag gauge is in the (order-stable)
+    // CSV columns, and the flight recorder journaled the node health
+    // transitions the partition caused.
+    EXPECT_NE(a.metrics.find("sedna_audit_reads_audited"),
+              std::string::npos);
+    EXPECT_NE(a.metrics.find("sedna_audit_probe_rounds"),
+              std::string::npos);
+    EXPECT_NE(a.timeseries.find("replication_lag_max_us"),
+              std::string::npos);
+    EXPECT_NE(a.incidents.find("seq,at_us,category,source,label,detail"),
+              std::string::npos);
+    EXPECT_NE(a.incidents.find("health"), std::string::npos);
+    EXPECT_NE(a.alerts.find("staleness-budget"), std::string::npos);
   }
 }
 
@@ -178,26 +259,14 @@ ObservabilityDump run_rebalanced(std::uint64_t seed) {
     cluster.run_for(sim_ms(500));
   }
   cluster.run_for(sim_sec(2));
-  ClusterInspector inspector(cluster);
-  return {inspector.metrics_text(),    inspector.trace_json(),
-          inspector.timeseries_csv(),  inspector.dashboard(),
-          inspector.tail_report(),     inspector.attribution_csv()};
+  return ObservabilityDump::from(ClusterInspector(cluster));
 }
 
 TEST(Determinism, RebalancerRunsAreByteIdenticalAcrossSeedSweep) {
   for (std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
     const ObservabilityDump a = run_rebalanced(seed);
     const ObservabilityDump b = run_rebalanced(seed);
-    EXPECT_EQ(a.metrics, b.metrics) << "metrics diverged for seed " << seed;
-    EXPECT_EQ(a.traces, b.traces) << "traces diverged for seed " << seed;
-    EXPECT_EQ(a.timeseries, b.timeseries)
-        << "time series diverged for seed " << seed;
-    EXPECT_EQ(a.dashboard, b.dashboard)
-        << "dashboard diverged for seed " << seed;
-    EXPECT_EQ(a.tail_report, b.tail_report)
-        << "tail report diverged for seed " << seed;
-    EXPECT_EQ(a.attribution, b.attribution)
-        << "attribution CSV diverged for seed " << seed;
+    expect_dumps_equal(a, b, seed);
     // The run exercised the rebalancer for real: migrations completed and
     // the monitor recorded them in its (order-stable) CSV columns.
     EXPECT_NE(a.metrics.find("sedna_rebalance_migrations_completed"),
@@ -260,26 +329,14 @@ ObservabilityDump run_overloaded(std::uint64_t seed) {
   driver.start();
   cluster.sim().schedule(sim_ms(900), [&] { cluster.crash_node(2); });
   cluster.run_for(sim_sec(4));
-  ClusterInspector inspector(cluster);
-  return {inspector.metrics_text(),    inspector.trace_json(),
-          inspector.timeseries_csv(),  inspector.dashboard(),
-          inspector.tail_report(),     inspector.attribution_csv()};
+  return ObservabilityDump::from(ClusterInspector(cluster));
 }
 
 TEST(Determinism, OverloadedRunsAreByteIdenticalAcrossSeedSweep) {
   for (std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
     const ObservabilityDump a = run_overloaded(seed);
     const ObservabilityDump b = run_overloaded(seed);
-    EXPECT_EQ(a.metrics, b.metrics) << "metrics diverged for seed " << seed;
-    EXPECT_EQ(a.traces, b.traces) << "traces diverged for seed " << seed;
-    EXPECT_EQ(a.timeseries, b.timeseries)
-        << "time series diverged for seed " << seed;
-    EXPECT_EQ(a.dashboard, b.dashboard)
-        << "dashboard diverged for seed " << seed;
-    EXPECT_EQ(a.tail_report, b.tail_report)
-        << "tail report diverged for seed " << seed;
-    EXPECT_EQ(a.attribution, b.attribution)
-        << "attribution CSV diverged for seed " << seed;
+    expect_dumps_equal(a, b, seed);
     // The pulse really overloaded the cluster: hosts shed work and the
     // monitor's overload series recorded it.
     EXPECT_NE(a.metrics.find("sedna_node_shed"), std::string::npos);
@@ -350,26 +407,14 @@ ObservabilityDump run_causal_conflict(std::uint64_t seed) {
   }
   cluster.network().heal_all();
   cluster.run_for(sim_sec(1));
-  ClusterInspector inspector(cluster);
-  return {inspector.metrics_text(),    inspector.trace_json(),
-          inspector.timeseries_csv(),  inspector.dashboard(),
-          inspector.tail_report(),     inspector.attribution_csv()};
+  return ObservabilityDump::from(ClusterInspector(cluster));
 }
 
 TEST(Determinism, CausalConflictRunsAreByteIdenticalAcrossSeedSweep) {
   for (std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
     const ObservabilityDump a = run_causal_conflict(seed);
     const ObservabilityDump b = run_causal_conflict(seed);
-    EXPECT_EQ(a.metrics, b.metrics) << "metrics diverged for seed " << seed;
-    EXPECT_EQ(a.traces, b.traces) << "traces diverged for seed " << seed;
-    EXPECT_EQ(a.timeseries, b.timeseries)
-        << "time series diverged for seed " << seed;
-    EXPECT_EQ(a.dashboard, b.dashboard)
-        << "dashboard diverged for seed " << seed;
-    EXPECT_EQ(a.tail_report, b.tail_report)
-        << "tail report diverged for seed " << seed;
-    EXPECT_EQ(a.attribution, b.attribution)
-        << "attribution CSV diverged for seed " << seed;
+    expect_dumps_equal(a, b, seed);
     // The run exercised real causal machinery: the monitor's conflict
     // series exist (order-stable CSV columns) and causal joins happened.
     EXPECT_NE(a.timeseries.find("siblings"), std::string::npos);

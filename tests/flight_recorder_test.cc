@@ -1,0 +1,103 @@
+// Tests for the cluster flight recorder: ring eviction, total ordering,
+// CSV escaping, and the byte-identical render contract that the
+// determinism sweep leans on.
+#include <gtest/gtest.h>
+
+#include "common/flight_recorder.h"
+
+namespace sedna {
+namespace {
+
+TEST(FlightRecorder, RecordsInOrderWithMonotoneSeq) {
+  FlightRecorder fr;
+  fr.record(10, "chaos", "bench", "partition");
+  fr.record(10, "alert", "monitor", "fired:replica-lag", "value=3");
+  fr.record(25, "health", "node-1", "degraded");
+  ASSERT_EQ(fr.events().size(), 3u);
+  EXPECT_EQ(fr.recorded(), 3u);
+  EXPECT_EQ(fr.dropped(), 0u);
+  // Same-instant events keep assignment order via seq.
+  EXPECT_EQ(fr.events()[0].seq, 0u);
+  EXPECT_EQ(fr.events()[1].seq, 1u);
+  EXPECT_EQ(fr.events()[0].at, fr.events()[1].at);
+  EXPECT_EQ(fr.events()[2].label, "degraded");
+  EXPECT_EQ(fr.events()[1].detail, "value=3");
+}
+
+TEST(FlightRecorder, RingEvictsOldestAndCountsDrops) {
+  FlightRecorder fr(4);
+  for (int i = 0; i < 10; ++i) {
+    fr.record(static_cast<SimTime>(i), "chaos", "bench",
+              "ev" + std::to_string(i));
+  }
+  EXPECT_EQ(fr.capacity(), 4u);
+  ASSERT_EQ(fr.events().size(), 4u);
+  EXPECT_EQ(fr.recorded(), 10u);
+  EXPECT_EQ(fr.dropped(), 6u);
+  // Newest four survive; seqs keep their lifetime values.
+  EXPECT_EQ(fr.events().front().label, "ev6");
+  EXPECT_EQ(fr.events().front().seq, 6u);
+  EXPECT_EQ(fr.events().back().label, "ev9");
+  // The render advertises the truncation.
+  EXPECT_NE(fr.render("t").find("6 older event(s) evicted"),
+            std::string::npos);
+}
+
+TEST(FlightRecorder, ZeroCapacityClampsToOne) {
+  FlightRecorder fr(0);
+  fr.record(1, "a", "b", "c");
+  fr.record(2, "a", "b", "d");
+  ASSERT_EQ(fr.events().size(), 1u);
+  EXPECT_EQ(fr.events().front().label, "d");
+}
+
+TEST(FlightRecorder, CsvEscapesDelimiters) {
+  FlightRecorder fr;
+  fr.record(7, "chaos", "bench", "with,comma", "say \"hi\"\nnext");
+  const std::string csv = fr.csv();
+  EXPECT_NE(csv.find("seq,at_us,category,source,label,detail\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  // Embedded quotes double, and the newline stays inside the quotes.
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\nnext\""), std::string::npos);
+}
+
+TEST(FlightRecorder, EmptyRenderSaysSo) {
+  FlightRecorder fr;
+  const std::string out = fr.render("quiet run");
+  EXPECT_NE(out.find("=== incident timeline: quiet run ==="),
+            std::string::npos);
+  EXPECT_NE(out.find("(no events recorded)"), std::string::npos);
+}
+
+TEST(FlightRecorder, IdenticalRecordingsRenderByteIdentically) {
+  auto feed = [](FlightRecorder& fr) {
+    fr.record(100, "chaos", "bench", "partition", "zone halves cut");
+    fr.record(100, "health", "node-2", "down", "was up");
+    fr.record(2500, "alert", "monitor", "fired:staleness-budget",
+              "value=2.1e+06 severity=warning");
+    fr.record(9000, "chaos", "bench", "heal");
+  };
+  FlightRecorder a, b;
+  feed(a);
+  feed(b);
+  EXPECT_EQ(a.render("incident"), b.render("incident"));
+  EXPECT_EQ(a.csv(), b.csv());
+  EXPECT_FALSE(a.csv().empty());
+}
+
+TEST(FlightRecorder, ClearKeepsLifetimeTotals) {
+  FlightRecorder fr(2);
+  fr.record(1, "a", "b", "c");
+  fr.record(2, "a", "b", "d");
+  fr.record(3, "a", "b", "e");
+  fr.clear();
+  EXPECT_TRUE(fr.events().empty());
+  EXPECT_EQ(fr.recorded(), 3u);
+  EXPECT_EQ(fr.dropped(), 1u);
+  fr.record(4, "a", "b", "f");
+  EXPECT_EQ(fr.events().front().seq, 3u);
+}
+
+}  // namespace
+}  // namespace sedna

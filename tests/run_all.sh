@@ -84,6 +84,15 @@ diff "${drill_tmp}/ss1/scenario_suite_metrics.prom" \
 diff "${drill_tmp}/ss1/ablation_dvv.csv" \
      "${drill_tmp}/ss2/ablation_dvv.csv" \
   || { echo "lost-update DVV ablation CSV is not deterministic"; exit 1; }
+# Consistency-auditor surfaces: the t-visibility curve and the flight
+# recorder's incident CSV ride the same determinism contract (stdout
+# already covers the rendered incident timeline).
+diff "${drill_tmp}/ss1/scenario_consistency.csv" \
+     "${drill_tmp}/ss2/scenario_consistency.csv" \
+  || { echo "scenario visibility CSV is not deterministic"; exit 1; }
+diff "${drill_tmp}/ss1/scenario_incidents.csv" \
+     "${drill_tmp}/ss2/scenario_incidents.csv" \
+  || { echo "scenario incident CSV is not deterministic"; exit 1; }
 # Both exposition dumps must lint: the overload cluster's and the causal
 # cluster's (the latter carries the new sibling/conflict families).
 "${build_dir}/tests/promlint" "${drill_tmp}/ss1/scenario_suite_metrics.prom" \
